@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+The full §V experiment (80 pipeline runs) is executed once per benchmark
+session and shared by every table/statistics bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.pipeline import BaselinePreparer
+
+
+@pytest.fixture(scope="session")
+def paper_results():
+    """All 80 scenario results under the paper profile."""
+    runner = ExperimentRunner()
+    return runner.run()
+
+
+@pytest.fixture(scope="session")
+def baselines():
+    return BaselinePreparer()

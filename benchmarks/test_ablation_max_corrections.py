@@ -1,0 +1,35 @@
+"""Ablation: sweep of the self-correction iteration cap.
+
+The paper's worst successful cell needed 34 corrections (Codestral /
+pathfinder, Table VIIa).  Sweeping ``max_corrections`` shows the success
+threshold sits exactly there.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentRunner, Scenario
+from repro.pipeline import PipelineConfig
+
+
+def run_sweep():
+    out = {}
+    for cap in (0, 10, 33, 34, 40):
+        runner = ExperimentRunner(config=PipelineConfig(max_corrections=cap))
+        result = runner.run_scenario(
+            Scenario("codestral", "cuda2omp", "pathfinder")
+        ).result
+        out[cap] = result
+    return out
+
+
+def test_max_corrections_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print("\nAblation: max_corrections sweep (Codestral/pathfinder, 34 needed)")
+    for cap, r in results.items():
+        print(f"  cap={cap:3d}: {r.status} after {r.self_corrections} corrections")
+    assert not results[0].ok
+    assert not results[10].ok
+    assert not results[33].ok
+    assert results[34].ok
+    assert results[40].ok
+    assert results[34].self_corrections == 34

@@ -1,0 +1,44 @@
+"""Ablation: self-correction disabled (§III-D is LASSI's core mechanism).
+
+The paper's framing: without feedback loops, every scenario that needed at
+least one correction fails outright.  We rerun a representative slice of the
+grid with ``self_correction=False`` and show the success-rate collapse.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentRunner, direction_stats
+from repro.pipeline import PipelineConfig
+
+MODELS = ["gpt4", "wizardcoder"]
+APPS = ["matrix-rotate", "jacobi", "bsearch", "entropy", "colorwheel"]
+
+
+def run_slice(config=None):
+    runner = ExperimentRunner(config=config)
+    return runner.run(models=MODELS, apps=APPS)
+
+
+def test_ablation_self_correction(benchmark, paper_results):
+    ablated = benchmark.pedantic(
+        lambda: run_slice(PipelineConfig(self_correction=False)),
+        rounds=1, iterations=1,
+    )
+    keys = {(r.scenario.model_key, r.scenario.direction, r.scenario.app_name)
+            for r in ablated}
+    full = [r for r in paper_results
+            if (r.scenario.model_key, r.scenario.direction,
+                r.scenario.app_name) in keys]
+
+    full_ok = sum(1 for r in full if r.result.ok)
+    ablated_ok = sum(1 for r in ablated if r.result.ok)
+    needed_corrections = sum(
+        1 for r in full if r.result.ok and r.result.self_corrections > 0
+    )
+    print(f"\nAblation: self-correction OFF over {len(ablated)} scenarios")
+    print(f"  with self-correction:    {full_ok}/{len(full)} succeed")
+    print(f"  without self-correction: {ablated_ok}/{len(ablated)} succeed")
+    print(f"  scenarios that needed >=1 correction: {needed_corrections}")
+    # Every scenario that needed corrections fails without the loops.
+    assert ablated_ok == full_ok - needed_corrections
+    assert ablated_ok < full_ok

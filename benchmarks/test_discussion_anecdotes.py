@@ -1,0 +1,63 @@
+"""§V-D discussion anecdotes, reproduced mechanistically.
+
+1. Codestral / bsearch (CUDA->OpenMP): the translated code drops the
+   256-thread configuration and serializes the device loop — the paper saw
+   a ~20x slowdown with identical output.
+2. DeepSeek / atomicCost (CUDA->OpenMP): the translation privatizes the
+   histogram, issuing a fraction of the atomic operations — the paper saw a
+   66x speedup with identical output (our reduced-scale model reproduces the
+   direction and the mechanism; the magnitude is occupancy-limited, see
+   EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, Scenario
+from repro.hecbench import get_app
+from repro.minilang.source import Dialect
+from repro.pipeline import BaselinePreparer
+
+
+def run_cell(model, app_name):
+    runner = ExperimentRunner()
+    return runner.run_scenario(Scenario(model, "cuda2omp", app_name)).result
+
+
+def test_bsearch_single_thread_slowdown(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_cell("codestral", "bsearch"), rounds=1, iterations=1
+    )
+    assert result.ok
+    app = get_app("bsearch")
+    ref = BaselinePreparer().prepare(
+        app.omp_source, Dialect.OMP, app.args, app.work_scale, app.launch_scale
+    )
+    slowdown = result.runtime_seconds / ref.runtime_seconds
+    print(f"\nCodestral bsearch CUDA->OpenMP: generated {result.runtime_seconds:.4f}s"
+          f" vs reference {ref.runtime_seconds:.4f}s -> {slowdown:.1f}x slower"
+          f" (paper: ~20x)")
+    print("generated pragma:", [
+        l.strip() for l in result.generated_code.splitlines()
+        if "#pragma omp target" in l
+    ][0])
+    assert slowdown > 5  # large slowdown, same output
+    assert "num_threads(1)" in result.generated_code
+
+
+def test_atomiccost_privatization_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_cell("deepseek", "atomicCost"), rounds=1, iterations=1
+    )
+    assert result.ok
+    app = get_app("atomicCost")
+    ref = BaselinePreparer().prepare(
+        app.omp_source, Dialect.OMP, app.args, app.work_scale, app.launch_scale
+    )
+    speedup = ref.runtime_seconds / result.runtime_seconds
+    print(f"\nDeepSeek atomicCost CUDA->OpenMP: generated "
+          f"{result.runtime_seconds:.3f}s vs reference {ref.runtime_seconds:.3f}s"
+          f" -> {speedup:.1f}x faster (paper: 66x; occupancy-limited here)")
+    assert speedup > 1.3
+    assert "local_" in result.generated_code  # the privatized histogram

@@ -1,0 +1,37 @@
+"""Micro-benchmarks of the substrate itself (pytest-benchmark timings).
+
+Not a paper artifact: these track the cost of the pieces the 80-scenario
+experiment leans on, so performance regressions in the simulator show up.
+"""
+
+from __future__ import annotations
+
+from repro.hecbench import get_app
+from repro.llm.transpiler import Transpiler
+from repro.minilang.source import Dialect
+from repro.toolchain import Executor, compiler_for
+
+
+def test_compile_throughput(benchmark):
+    app = get_app("jacobi")
+    result = benchmark(
+        lambda: compiler_for(Dialect.CUDA).compile(app.cuda_source)
+    )
+    assert result.ok
+
+
+def test_execute_throughput(benchmark):
+    app = get_app("layout")
+    program = compiler_for(Dialect.OMP).compile(app.omp_source).program
+    ex = Executor()
+    run = benchmark(lambda: ex.run(program, Dialect.OMP, app.args))
+    assert run.ok
+
+
+def test_transpile_throughput(benchmark):
+    app = get_app("pathfinder")
+    tr = Transpiler()
+    code = benchmark(
+        lambda: tr.translate(app.cuda_source, Dialect.CUDA, Dialect.OMP)
+    )
+    assert "#pragma omp" in code

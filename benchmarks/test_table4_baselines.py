@@ -1,0 +1,40 @@
+"""Table IV: baseline runtimes of the ten HeCBench apps on the simulated
+A100, side by side with the paper's measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_table4
+from repro.hecbench import all_apps
+from repro.minilang.source import Dialect
+from repro.utils.tables import render_table
+
+
+def test_table4(benchmark, baselines):
+    text = benchmark.pedantic(
+        lambda: render_table4(baselines), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+    # paper-vs-measured companion table
+    rows = []
+    for app in all_apps():
+        cuda = baselines.prepare(app.cuda_source, Dialect.CUDA, app.args,
+                                 app.work_scale, app.launch_scale)
+        omp = baselines.prepare(app.omp_source, Dialect.OMP, app.args,
+                                app.work_scale, app.launch_scale)
+        rows.append([
+            app.name,
+            app.paper_runtime_cuda, cuda.runtime_seconds,
+            app.paper_runtime_omp, omp.runtime_seconds,
+        ])
+        # CUDA column calibrated exactly; OpenMP column preserves the winner.
+        assert cuda.runtime_seconds == pytest.approx(
+            app.paper_runtime_cuda, rel=0.02
+        )
+    print("\n" + render_table(
+        ["Application", "paper CUDA", "sim CUDA", "paper OpenMP", "sim OpenMP"],
+        rows,
+        title="Table IV paper-vs-measured",
+    ))

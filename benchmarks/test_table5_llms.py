@@ -1,0 +1,11 @@
+"""Table V: the four evaluated LLMs (registry-rendered)."""
+
+from __future__ import annotations
+
+from repro.experiments import render_table5
+
+
+def test_table5(benchmark):
+    text = benchmark(render_table5)
+    assert "GPT-4" in text and "DeepSeek Coder v2" in text
+    print("\n" + text)

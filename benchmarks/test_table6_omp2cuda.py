@@ -1,0 +1,38 @@
+"""Table VI: OpenMP -> CUDA translation results for all four LLMs."""
+
+from __future__ import annotations
+
+from repro.experiments import render_translation_tables
+from repro.llm.profiles import OMP2CUDA, all_paper_plans
+
+#: Paper Table VI N/A pattern (model, app), for shape assertions.
+PAPER_NA = {
+    ("gpt4", "dense-embedding"), ("gpt4", "bsearch"), ("gpt4", "randomAccess"),
+    ("codestral", "colorwheel"),
+    ("wizardcoder", "randomAccess"),
+    ("deepseek", "dense-embedding"), ("deepseek", "colorwheel"),
+    ("deepseek", "randomAccess"),
+}
+
+
+def test_table6(benchmark, paper_results):
+    results = [r for r in paper_results if r.scenario.direction == OMP2CUDA]
+    text = benchmark.pedantic(
+        lambda: render_translation_tables(results)[OMP2CUDA],
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+
+    # The N/A pattern matches the paper cell-for-cell.
+    measured_na = {
+        (r.scenario.model_key, r.scenario.app_name)
+        for r in results if not r.result.ok
+    }
+    assert measured_na == PAPER_NA
+
+    # Self-correction counts match the paper cell-for-cell.
+    plans = all_paper_plans()
+    for r in results:
+        if r.result.ok:
+            plan = plans[(r.scenario.model_key, OMP2CUDA, r.scenario.app_name)]
+            assert r.result.self_corrections == plan.self_corrections

@@ -1,0 +1,45 @@
+"""Table VII: CUDA -> OpenMP translation results for all four LLMs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_translation_tables
+from repro.llm.profiles import CUDA2OMP, all_paper_plans
+
+#: Paper Table VII N/A pattern (model, app).
+PAPER_NA = {
+    ("gpt4", "dense-embedding"),
+    ("codestral", "jacobi"), ("codestral", "dense-embedding"),
+    ("deepseek", "dense-embedding"), ("deepseek", "pathfinder"),
+    ("deepseek", "randomAccess"),
+}
+
+
+def test_table7(benchmark, paper_results):
+    results = [r for r in paper_results if r.scenario.direction == CUDA2OMP]
+    text = benchmark.pedantic(
+        lambda: render_translation_tables(results)[CUDA2OMP],
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+
+    measured_na = {
+        (r.scenario.model_key, r.scenario.app_name)
+        for r in results if not r.result.ok
+    }
+    assert measured_na == PAPER_NA
+
+    plans = all_paper_plans()
+    by_key = {
+        (r.scenario.model_key, r.scenario.app_name): r.result for r in results
+    }
+    for r in results:
+        if r.result.ok:
+            plan = plans[(r.scenario.model_key, CUDA2OMP, r.scenario.app_name)]
+            assert r.result.self_corrections == plan.self_corrections
+
+    # The paper's standout cell: Codestral's pathfinder needed 34 rounds.
+    assert by_key[("codestral", "pathfinder")].self_corrections == 34
+    # ...and its bsearch translation ran ~20x slower (ratio ~0.05).
+    assert by_key[("codestral", "bsearch")].ratio == pytest.approx(0.05, abs=0.03)

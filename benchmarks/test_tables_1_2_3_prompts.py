@@ -1,0 +1,41 @@
+"""Tables I-III: the LASSI prompt dictionary, rendered from the live code."""
+
+from __future__ import annotations
+
+from repro.minilang.source import Dialect
+from repro.prompts import correction_prompt, system_prompt, translation_prompt
+from repro.prompts.dictionary import SYSTEM_PROMPTS
+
+
+def render_prompt_tables() -> str:
+    lines = ["Table I: LASSI System Prompts", "-" * 60]
+    lines.append("[General purpose]")
+    lines.append(SYSTEM_PROMPTS["general"])
+    lines.append("[CUDA to OpenMP]")
+    lines.append(system_prompt(Dialect.CUDA, Dialect.OMP))
+    lines.append("[OpenMP to CUDA]")
+    lines.append(system_prompt(Dialect.OMP, Dialect.CUDA))
+    lines.append("")
+    lines.append("Table II: Target Language-specific Translation Prompts")
+    lines.append("-" * 60)
+    lines.append("[OpenMP to CUDA]")
+    lines.append(translation_prompt(Dialect.OMP, Dialect.CUDA))
+    lines.append("[CUDA to OpenMP]")
+    lines.append(translation_prompt(Dialect.CUDA, Dialect.OMP))
+    lines.append("")
+    lines.append("Table III: Compilation and Execution Self-correction Prompts")
+    lines.append("-" * 60)
+    lines.append("[Compile error]")
+    lines.append(correction_prompt("compile", "[generated code]",
+                                   "[compiler command]", "[stderr]"))
+    lines.append("[Execution error]")
+    lines.append(correction_prompt("execute", "[generated code]",
+                                   "[compiler command]", "[stderr]"))
+    return "\n".join(lines)
+
+
+def test_tables_1_2_3(benchmark):
+    text = benchmark(render_prompt_tables)
+    assert "professional coding AI assistant" in text
+    assert "Re-factor the above code with a fix" in text
+    print("\n" + text)

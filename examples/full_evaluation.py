@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The paper's §V evaluation: the 80-scenario grid, Tables VI/VII and the
+headline statistics, measured against the published numbers.
+
+    python examples/full_evaluation.py            # full 80-scenario grid
+    python examples/full_evaluation.py --quick    # 2 models x 4 apps slice
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentRunner,
+    headline_summary,
+    render_table4,
+    render_table5,
+    render_translation_tables,
+)
+from repro.llm.profiles import CUDA2OMP, OMP2CUDA
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    runner = ExperimentRunner()
+
+    print(render_table5())
+    print()
+    print(render_table4(runner.baselines))
+    print()
+
+    kwargs = {}
+    if quick:
+        kwargs = dict(models=["gpt4", "codestral"],
+                      apps=["matrix-rotate", "jacobi", "bsearch", "colorwheel"])
+    t0 = time.time()
+    done = []
+
+    def progress(sr):
+        done.append(sr)
+        s = sr.scenario
+        print(f"  [{len(done):3d}] {s.direction:9s} {s.model_key:12s} "
+              f"{s.app_name:16s} -> {sr.result.status}")
+
+    print("Running LASSI scenarios...")
+    results = runner.run(progress=progress, **kwargs)
+    print(f"\n{len(results)} scenarios in {time.time() - t0:.0f}s\n")
+
+    tables = render_translation_tables(results)
+    print(tables[OMP2CUDA])
+    print()
+    print(tables[CUDA2OMP])
+    print()
+    print(headline_summary(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: translate one HeCBench app with one (simulated) LLM.
+
+Runs the full LASSI pipeline — baseline preparation, prompt assembly with
+self-prompting, generation, self-correcting loops, automated verification —
+and prints the generated code plus the paper's five metrics.
+
+    python examples/quickstart.py [app-name] [model-key]
+"""
+
+import sys
+
+from repro.experiments.runner import ExperimentRunner, Scenario
+from repro.hecbench import app_names
+from repro.llm.registry import model_keys
+
+
+def main() -> int:
+    app = sys.argv[1] if len(sys.argv) > 1 else "matrix-rotate"
+    model = sys.argv[2] if len(sys.argv) > 2 else "gpt4"
+    if app not in app_names() or model not in model_keys():
+        print(f"apps: {', '.join(app_names())}")
+        print(f"models: {', '.join(model_keys())}")
+        return 1
+
+    print(f"=== LASSI: translating {app} (OpenMP -> CUDA) with {model} ===\n")
+    runner = ExperimentRunner()
+    scenario = Scenario(model_key=model, direction="omp2cuda", app_name=app)
+    result = runner.run_scenario(scenario).result
+
+    print(f"status:            {result.status}")
+    print(f"self-corrections:  {result.self_corrections}")
+    if result.ok:
+        print(f"runtime (sim):     {result.runtime_seconds:.4f} s")
+        print(f"ratio vs ref:      {result.ratio:.4f}")
+        print(f"Sim-T:             {result.sim_t:.2f}")
+        print(f"Sim-L:             {result.sim_l:.2f}")
+        print(f"output verified:   {result.verified}")
+        print("\n--- generated CUDA code ---")
+        print(result.generated_code)
+    else:
+        print(f"failure detail:    {result.failure_detail.splitlines()[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Watch the self-correction loops work: a scenario planned to need three
+correction rounds (compile, compile, execute) prints its full attempt trace
+with the compiler/runtime stderr that drove each re-prompt.
+"""
+
+from repro.hecbench import get_app
+from repro.llm.profiles import CellPlan
+from repro.llm.simulated import SimulatedLLM
+from repro.minilang.source import Dialect
+from repro.pipeline import LassiPipeline
+
+PLAN = CellPlan(
+    self_corrections=3,
+    fault_ids=("missing-semicolon", "kernel-called-directly", "oob-guard-cuda"),
+)
+
+
+def main() -> int:
+    app = get_app("pathfinder")
+    llm = SimulatedLLM("wizardcoder", Dialect.OMP, Dialect.CUDA, plan=PLAN)
+    pipeline = LassiPipeline(llm, Dialect.OMP, Dialect.CUDA)
+    result = pipeline.translate(
+        app.omp_source,
+        reference_target_code=app.cuda_source,
+        args=app.args,
+        work_scale=app.work_scale,
+        launch_scale=app.launch_scale,
+    )
+
+    print(f"=== self-correction trace: {app.name}, {llm.name} ===\n")
+    for attempt in result.attempts:
+        print(f"attempt {attempt.index} ({attempt.kind}): "
+              f"compiled={attempt.compiled} executed={attempt.executed}")
+        if attempt.stderr:
+            first = attempt.stderr.splitlines()[0]
+            print(f"   error fed back to the LLM: {first}")
+    print(f"\nfinal status: {result.status} after "
+          f"{result.self_corrections} self-corrections")
+    assert result.self_corrections == 3
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""LASSI reproduction (Dearing et al., IEEE CLUSTER 2024).
+
+An offline, from-scratch reproduction of the LASSI pipeline — an LLM-based
+automated self-correcting system for translating parallel scientific codes
+between OpenMP target offload and CUDA — together with every substrate its
+evaluation depends on: a MiniCUDA/MiniOMP compiler front-end and
+interpreter, a simulated NVIDIA A100 performance model, the ten HeCBench
+applications of Table IV, and simulated versions of the four Table V LLMs.
+
+Quick start::
+
+    from repro.llm.simulated import SimulatedLLM
+    from repro.minilang.source import Dialect
+    from repro.pipeline import LassiPipeline
+
+    llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA)
+    pipeline = LassiPipeline(llm, Dialect.OMP, Dialect.CUDA)
+    result = pipeline.translate(omp_source, reference_target_code=cuda_ref)
+
+See README.md for the architecture map and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "minilang",
+    "interp",
+    "gpu",
+    "toolchain",
+    "hecbench",
+    "llm",
+    "prompts",
+    "pipeline",
+    "metrics",
+    "experiments",
+    "cli",
+]

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the deliverables:
+
+* ``translate`` — run the LASSI pipeline on one suite app;
+* ``evaluate``  — the §V experiment grid (optionally filtered);
+* ``table``     — print a paper table (4, 5, 6 or 7);
+* ``apps`` / ``models`` — list the suite and the registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    ExperimentRunner,
+    headline_summary,
+    render_table4,
+    render_table5,
+    render_translation_tables,
+)
+from repro.experiments.runner import Scenario
+from repro.hecbench import all_apps, app_names
+from repro.llm.profiles import CUDA2OMP, OMP2CUDA
+from repro.llm.registry import all_models, model_keys
+
+
+def _cmd_apps(_args) -> int:
+    for app in all_apps():
+        print(f"{app.name:18s} {app.category:42s} args={app.paper_args}")
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    for m in all_models():
+        print(f"{m.key:12s} {m.name:20s} ctx={m.context_length:,} ({m.hosting})")
+    return 0
+
+
+def _cmd_translate(args) -> int:
+    runner = ExperimentRunner(profile=args.profile, seed=args.seed)
+    scenario = Scenario(
+        model_key=args.model, direction=args.direction, app_name=args.app
+    )
+    result = runner.run_scenario(scenario).result
+    print(f"status: {result.status}")
+    print(f"self-corrections: {result.self_corrections}")
+    if result.ok:
+        print(f"runtime: {result.runtime_seconds:.4f}s  ratio: {result.ratio:.4f}"
+              f"  Sim-T: {result.sim_t:.2f}  Sim-L: {result.sim_l:.2f}")
+    if args.show_code and result.generated_code:
+        print("\n" + result.generated_code)
+    return 0 if result.ok else 1
+
+
+def _cmd_evaluate(args) -> int:
+    runner = ExperimentRunner(profile=args.profile, seed=args.seed)
+
+    def progress(sr):
+        s = sr.scenario
+        print(f"  {s.direction:9s} {s.model_key:12s} {s.app_name:16s} "
+              f"-> {sr.result.status}", file=sys.stderr)
+
+    results = runner.run(
+        models=args.models or None,
+        apps=args.apps or None,
+        directions=[args.direction] if args.direction else None,
+        progress=progress if args.verbose else None,
+    )
+    tables = render_translation_tables(results)
+    for direction in (OMP2CUDA, CUDA2OMP):
+        if args.direction in (None, direction):
+            print(tables[direction])
+            print()
+    print(headline_summary(results))
+    return 0
+
+
+def _cmd_table(args) -> int:
+    if args.number == 4:
+        print(render_table4())
+        return 0
+    if args.number == 5:
+        print(render_table5())
+        return 0
+    if args.number in (6, 7):
+        direction = OMP2CUDA if args.number == 6 else CUDA2OMP
+        runner = ExperimentRunner()
+        results = runner.run(directions=[direction])
+        print(render_translation_tables(results)[direction])
+        return 0
+    print(f"no renderer for table {args.number}", file=sys.stderr)
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LASSI reproduction (CLUSTER 2024) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the Table IV applications").set_defaults(
+        func=_cmd_apps
+    )
+    sub.add_parser("models", help="list the Table V LLMs").set_defaults(
+        func=_cmd_models
+    )
+
+    tr = sub.add_parser("translate", help="run the pipeline on one scenario")
+    tr.add_argument("app", choices=app_names())
+    tr.add_argument("--model", default="gpt4", choices=model_keys())
+    tr.add_argument("--direction", default=OMP2CUDA,
+                    choices=[OMP2CUDA, CUDA2OMP])
+    tr.add_argument("--profile", default="paper",
+                    choices=["paper", "stochastic"])
+    tr.add_argument("--seed", type=int, default=2024)
+    tr.add_argument("--show-code", action="store_true")
+    tr.set_defaults(func=_cmd_translate)
+
+    ev = sub.add_parser("evaluate", help="run the evaluation grid")
+    ev.add_argument("--models", nargs="*", choices=model_keys())
+    ev.add_argument("--apps", nargs="*", choices=app_names())
+    ev.add_argument("--direction", choices=[OMP2CUDA, CUDA2OMP])
+    ev.add_argument("--profile", default="paper",
+                    choices=["paper", "stochastic"])
+    ev.add_argument("--seed", type=int, default=2024)
+    ev.add_argument("--verbose", "-v", action="store_true")
+    ev.set_defaults(func=_cmd_evaluate)
+
+    tb = sub.add_parser("table", help="print a paper table")
+    tb.add_argument("number", type=int, choices=[4, 5, 6, 7])
+    tb.set_defaults(func=_cmd_table)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

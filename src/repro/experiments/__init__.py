@@ -1,0 +1,24 @@
+"""Experiment harness: the 80-scenario evaluation and table renderers."""
+
+from repro.experiments.runner import (
+    ExperimentRunner,
+    Scenario,
+    ScenarioResult,
+)
+from repro.experiments.tables import (
+    render_table4,
+    render_table5,
+    render_translation_tables,
+)
+from repro.experiments.stats import direction_stats, headline_summary
+
+__all__ = [
+    "ExperimentRunner",
+    "Scenario",
+    "ScenarioResult",
+    "render_table4",
+    "render_table5",
+    "render_translation_tables",
+    "direction_stats",
+    "headline_summary",
+]

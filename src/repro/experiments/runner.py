@@ -1,0 +1,138 @@
+"""The §V experiment: 10 apps x 4 LLMs x 2 directions = 80 pipeline runs.
+
+Each scenario instantiates a :class:`SimulatedLLM` with the Tables VI/VII
+cell plan for (model, direction, app) — or a seeded stochastic plan when
+``profile="stochastic"`` — and drives the full LASSI pipeline.  Baselines
+are shared through one :class:`BaselinePreparer`, mirroring §IV: each
+HeCBench test case is compiled and executed once with fixed arguments and
+reused across all models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.hecbench import AppSpec, all_apps
+from repro.llm.profiles import (
+    CUDA2OMP,
+    OMP2CUDA,
+    CellPlan,
+    direction_key,
+    paper_plan,
+)
+from repro.llm.registry import all_models
+from repro.llm.simulated import SimulatedLLM
+from repro.metrics.aggregate import ScenarioMetrics
+from repro.minilang.source import Dialect
+from repro.pipeline import BaselinePreparer, LassiPipeline, PipelineConfig
+from repro.pipeline.results import LassiResult
+from repro.toolchain import Executor
+
+DIRECTIONS: Dict[str, Tuple[Dialect, Dialect]] = {
+    OMP2CUDA: (Dialect.OMP, Dialect.CUDA),
+    CUDA2OMP: (Dialect.CUDA, Dialect.OMP),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    model_key: str
+    direction: str  # "omp2cuda" | "cuda2omp"
+    app_name: str
+
+
+@dataclass
+class ScenarioResult:
+    scenario: Scenario
+    result: LassiResult
+
+    @property
+    def metrics(self) -> ScenarioMetrics:
+        return self.result.metrics()
+
+
+class ExperimentRunner:
+    """Runs the paper's evaluation grid (or any subset of it)."""
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        profile: str = "paper",
+        seed: int = 2024,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        if profile not in ("paper", "stochastic"):
+            raise ValueError(f"unknown profile {profile!r}")
+        self.config = config or PipelineConfig()
+        self.profile = profile
+        self.seed = seed
+        self.executor = executor or Executor()
+        self.baselines = BaselinePreparer(self.executor)
+
+    # ------------------------------------------------------------------
+    def scenarios(
+        self,
+        models: Optional[Iterable[str]] = None,
+        directions: Optional[Iterable[str]] = None,
+        apps: Optional[Iterable[str]] = None,
+    ) -> List[Scenario]:
+        model_keys = list(models) if models else [m.key for m in all_models()]
+        dir_keys = list(directions) if directions else [OMP2CUDA, CUDA2OMP]
+        app_names = list(apps) if apps else [a.name for a in all_apps()]
+        return [
+            Scenario(model_key=m, direction=d, app_name=a)
+            for d in dir_keys
+            for m in model_keys
+            for a in app_names
+        ]
+
+    # ------------------------------------------------------------------
+    def run_scenario(self, scenario: Scenario, app: Optional[AppSpec] = None) -> ScenarioResult:
+        from repro.hecbench import get_app
+
+        app = app or get_app(scenario.app_name)
+        source_dialect, target_dialect = DIRECTIONS[scenario.direction]
+
+        plan: Optional[CellPlan] = None
+        if self.profile == "paper":
+            plan = paper_plan(scenario.model_key, scenario.direction, app.name)
+        llm = SimulatedLLM(
+            scenario.model_key,
+            source_dialect,
+            target_dialect,
+            plan=plan,
+            seed=self.seed,
+        )
+        pipeline = LassiPipeline(
+            llm,
+            source_dialect,
+            target_dialect,
+            config=self.config,
+            executor=self.executor,
+            baseline_preparer=self.baselines,
+        )
+        result = pipeline.translate(
+            app.source(source_dialect),
+            reference_target_code=app.source(target_dialect),
+            args=app.args,
+            work_scale=app.work_scale,
+            launch_scale=app.launch_scale,
+        )
+        return ScenarioResult(scenario=scenario, result=result)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        models: Optional[Iterable[str]] = None,
+        directions: Optional[Iterable[str]] = None,
+        apps: Optional[Iterable[str]] = None,
+        progress: Optional[callable] = None,
+    ) -> List[ScenarioResult]:
+        out: List[ScenarioResult] = []
+        for scenario in self.scenarios(models, directions, apps):
+            res = self.run_scenario(scenario)
+            out.append(res)
+            if progress is not None:
+                progress(res)
+        return out

@@ -1,0 +1,62 @@
+"""Headline statistics (§V-B/C) computed from scenario results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.llm.profiles import CUDA2OMP, OMP2CUDA
+from repro.metrics.aggregate import AggregateStats, aggregate
+
+#: The paper's reported headline numbers, for side-by-side reporting.
+PAPER_HEADLINES = {
+    OMP2CUDA: {
+        "success_rate": 0.80,
+        "within_10pct_rate": 0.781,
+        "high_similarity_rate": 0.406,
+        "first_try_rate": 0.656,
+    },
+    CUDA2OMP: {
+        "success_rate": 0.85,
+        "within_10pct_rate": 0.618,
+        "high_similarity_rate": 0.471,
+        "first_try_rate": 0.559,
+    },
+}
+
+
+def direction_stats(results: Iterable) -> Dict[str, AggregateStats]:
+    """Aggregate per translation direction."""
+    buckets: Dict[str, List] = {OMP2CUDA: [], CUDA2OMP: []}
+    for sr in results:
+        buckets[sr.scenario.direction].append(sr.metrics)
+    return {
+        direction: aggregate(metrics) for direction, metrics in buckets.items()
+    }
+
+
+def headline_summary(results: Iterable) -> str:
+    """Render measured-vs-paper headline numbers for both directions."""
+    stats = direction_stats(results)
+    lines: List[str] = []
+    names = {OMP2CUDA: "OpenMP -> CUDA", CUDA2OMP: "CUDA -> OpenMP"}
+    for direction in (OMP2CUDA, CUDA2OMP):
+        agg = stats[direction]
+        paper = PAPER_HEADLINES[direction]
+        lines.append(f"{names[direction]} ({agg.total} scenarios)")
+        lines.append(
+            f"  success rate:            {agg.success_rate:6.1%}  "
+            f"(paper {paper['success_rate']:.1%})"
+        )
+        lines.append(
+            f"  within 10% or faster:    {agg.within_10pct_rate:6.1%}  "
+            f"(paper {paper['within_10pct_rate']:.1%})"
+        )
+        lines.append(
+            f"  Sim-T >= 0.6:            {agg.high_similarity_rate:6.1%}  "
+            f"(paper {paper['high_similarity_rate']:.1%})"
+        )
+        lines.append(
+            f"  zero self-corrections:   {agg.first_try_rate:6.1%}  "
+            f"(paper {paper['first_try_rate']:.1%})"
+        )
+    return "\n".join(lines)

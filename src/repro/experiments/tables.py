@@ -1,0 +1,113 @@
+"""Renderers that regenerate the paper's tables from live results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.hecbench import all_apps
+from repro.llm.profiles import CUDA2OMP, OMP2CUDA
+from repro.llm.registry import all_models
+from repro.minilang.source import Dialect
+from repro.pipeline import BaselinePreparer
+from repro.utils.tables import render_table
+
+
+def render_table4(baselines: Optional[BaselinePreparer] = None) -> str:
+    """Table IV: baseline runtimes of the ten apps on the simulated A100."""
+    preparer = baselines or BaselinePreparer()
+    rows: List[List[object]] = []
+    for app in all_apps():
+        cuda = preparer.prepare(
+            app.cuda_source, Dialect.CUDA, app.args,
+            app.work_scale, app.launch_scale,
+        )
+        omp = preparer.prepare(
+            app.omp_source, Dialect.OMP, app.args,
+            app.work_scale, app.launch_scale,
+        )
+        rows.append([
+            app.category,
+            app.name,
+            "[" + ", ".join(app.paper_args) + "]" if app.paper_args else "None",
+            cuda.runtime_seconds,
+            omp.runtime_seconds,
+        ])
+    return render_table(
+        ["Category", "Application", "Runtime args", "CUDA (s)", "OpenMP (s)"],
+        rows,
+        title=(
+            "Table IV: Runtimes of selected HeCBench applications on "
+            "NVIDIA A100 (simulated)"
+        ),
+    )
+
+
+def render_table5() -> str:
+    """Table V: the four LLMs."""
+    rows = [
+        [
+            m.name,
+            m.parameters,
+            m.size_gb if m.size_gb is not None else "API",
+            m.quantization,
+            f"{m.context_length:,}",
+        ]
+        for m in all_models()
+    ]
+    return render_table(
+        ["LLM", "Parameters", "Size (GB)", "Quantization", "Context Length (tokens)"],
+        rows,
+        title="Table V: Selected Large Language Models (LLMs)",
+    )
+
+
+def render_translation_tables(results: Iterable) -> Dict[str, str]:
+    """Tables VI/VII from scenario results.
+
+    Returns {"omp2cuda": text, "cuda2omp": text} with one panel pair per
+    direction, matching the paper's layout: rows = apps, one five-column
+    group (Runtime, Ratio, Sim-T, Sim-L, Self-corr) per LLM.
+    """
+    indexed: Dict[Tuple[str, str, str], object] = {}
+    for sr in results:
+        key = (sr.scenario.direction, sr.scenario.model_key, sr.scenario.app_name)
+        indexed[key] = sr.result
+
+    out: Dict[str, str] = {}
+    titles = {
+        OMP2CUDA: "Table VI: OpenMP to CUDA translation results",
+        CUDA2OMP: "Table VII: CUDA to OpenMP translation results",
+    }
+    for direction, title in titles.items():
+        panels: List[str] = [title]
+        model_pairs = [
+            ("gpt4", "codestral", "Panel A: GPT-4 and Codestral"),
+            ("wizardcoder", "deepseek", "Panel B: Wizard Coder and DeepSeek Coder v2"),
+        ]
+        for left, right, panel_title in model_pairs:
+            headers = ["Application"]
+            for key in (left, right):
+                model_name = next(m.name for m in all_models() if m.key == key)
+                headers += [
+                    f"{model_name} Runtime (s)", "Ratio", "Sim-T", "Sim-L",
+                    "Self-corr",
+                ]
+            rows: List[List[object]] = []
+            for app in all_apps():
+                row: List[object] = [app.name]
+                for key in (left, right):
+                    result = indexed.get((direction, key, app.name))
+                    if result is None or not result.ok:
+                        row += [None, None, None, None, None]
+                    else:
+                        row += [
+                            result.runtime_seconds,
+                            result.ratio,
+                            round(result.sim_t, 2) if result.sim_t is not None else None,
+                            round(result.sim_l, 2) if result.sim_l is not None else None,
+                            result.self_corrections,
+                        ]
+                rows.append(row)
+            panels.append(render_table(headers, rows, title=panel_title))
+        out[direction] = "\n\n".join(panels)
+    return out

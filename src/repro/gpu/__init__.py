@@ -1,0 +1,31 @@
+"""Simulated GPU/CPU device models and the analytic performance model.
+
+The paper measures wall-clock runtimes on an NVIDIA A100 (40 GB).  Offline we
+substitute a deterministic analytic model: the interpreter counts the dynamic
+work a program performs (ops, bytes moved, atomics, transfers, launches), and
+:mod:`repro.gpu.perfmodel` converts those counts into simulated seconds using
+device parameters modelled on the A100 and its host.
+"""
+
+from repro.gpu.device import A100_40GB, CpuSpec, DeviceSpec, HOST_EPYC
+from repro.gpu.stats import (
+    ExecutionProfile,
+    HostParallelEvent,
+    KernelEvent,
+    OpCounters,
+    TransferEvent,
+)
+from repro.gpu.perfmodel import PerformanceModel
+
+__all__ = [
+    "A100_40GB",
+    "HOST_EPYC",
+    "CpuSpec",
+    "DeviceSpec",
+    "ExecutionProfile",
+    "KernelEvent",
+    "TransferEvent",
+    "HostParallelEvent",
+    "OpCounters",
+    "PerformanceModel",
+]

@@ -1,0 +1,24 @@
+"""HeCBench-style benchmark applications (the paper's Table IV workloads).
+
+The paper selects ten applications from the HeCBench suite across nine
+computational categories and translates each bi-directionally between CUDA
+and OpenMP target offload.  This package provides those ten applications,
+authored from scratch in the MiniCUDA / MiniOMP dialects:
+
+* both dialect versions of an app produce **byte-identical stdout** (data is
+  generated with the deterministic ``srand``/``rand`` intrinsic), which is
+  what makes automated output verification possible;
+* the *performance structure* of each pair mirrors what the paper measured
+  (Table IV): e.g. the OpenMP ports of jacobi / dense-embedding remap their
+  arrays on every kernel ("no target-data region"), which is why they are
+  orders of magnitude slower than the CUDA versions, while the CUDA ports of
+  bsearch / colorwheel pay per-repeat transfers the OpenMP ports avoid;
+* each app carries the paper's runtime-argument convention plus the reduced
+  arguments actually executed, and the work/launch scale factors that relate
+  the two (see ``repro.gpu.perfmodel``).
+"""
+
+from repro.hecbench.spec import AppSpec
+from repro.hecbench.suite import all_apps, app_names, get_app
+
+__all__ = ["AppSpec", "all_apps", "app_names", "get_app"]

@@ -1,0 +1,1 @@
+"""The ten Table IV applications, one module each."""

@@ -1,0 +1,141 @@
+"""bsearch — Search category (Table IV row 7).
+
+Batched lower-bound binary search over a sorted array.  The two HeCBench
+ports do visibly different amounts of staging work: the CUDA port re-uploads
+the sorted array on every repetition, while the OpenMP port performs the
+query pass once over mapped data with an explicit 256-thread configuration —
+paper: 0.3273 s (CUDA) vs 0.0140 s (OpenMP).
+
+This is the app behind the paper's §V-D Codestral anecdote: a CUDA→OpenMP
+translation that drops the 256-thread configuration (serializing the device
+loop) runs ~20x slower than this reference while printing identical output.
+"""
+
+from repro.hecbench.spec import AppSpec
+
+CUDA_SOURCE = r"""
+// bsearch: batched lower-bound binary search on a sorted array.
+__global__ void search_kernel(int* array, int* queries, int* results, int n, int q) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j < q) {
+    int key = queries[j];
+    int lo = 0;
+    int hi = n;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (array[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    results[j] = lo;
+  }
+}
+
+int main(int argc, char** argv) {
+  int n = atoi(argv[1]);
+  int repeat = atoi(argv[2]);
+  int q = n / 8;
+  int* h_array = (int*)malloc(n * sizeof(int));
+  int* h_queries = (int*)malloc(q * sizeof(int));
+  int* h_results = (int*)malloc(q * sizeof(int));
+  for (int i = 0; i < n; i++) {
+    h_array[i] = 2 * i;
+  }
+  srand(31);
+  for (int j = 0; j < q; j++) {
+    h_queries[j] = rand() % (2 * n);
+  }
+  int* d_array;
+  int* d_queries;
+  int* d_results;
+  cudaMalloc(&d_array, n * sizeof(int));
+  cudaMalloc(&d_queries, q * sizeof(int));
+  cudaMalloc(&d_results, q * sizeof(int));
+  cudaMemcpy(d_queries, h_queries, q * sizeof(int), cudaMemcpyHostToDevice);
+  int threads = 256;
+  int blocks = (q + threads - 1) / threads;
+  for (int r = 0; r < repeat; r++) {
+    cudaMemcpy(d_array, h_array, n * sizeof(int), cudaMemcpyHostToDevice);
+    search_kernel<<<blocks, threads>>>(d_array, d_queries, d_results, n, q);
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_results, d_results, q * sizeof(int), cudaMemcpyDeviceToHost);
+  long checksum = 0;
+  for (int j = 0; j < q; j++) {
+    checksum += h_results[j] * ((j % 3) + 1);
+  }
+  printf("queries %d\n", q);
+  printf("checksum %ld\n", checksum);
+  cudaFree(d_array);
+  cudaFree(d_queries);
+  cudaFree(d_results);
+  free(h_array);
+  free(h_queries);
+  free(h_results);
+  return 0;
+}
+"""
+
+OMP_SOURCE = r"""
+// bsearch: batched lower-bound binary search on a sorted array.
+// This port performs the query pass once over mapped data.
+int main(int argc, char** argv) {
+  int n = atoi(argv[1]);
+  int repeat = atoi(argv[2]);
+  int q = n / 8;
+  int* array = (int*)malloc(n * sizeof(int));
+  int* queries = (int*)malloc(q * sizeof(int));
+  int* results = (int*)malloc(q * sizeof(int));
+  for (int i = 0; i < n; i++) {
+    array[i] = 2 * i;
+  }
+  srand(31);
+  for (int j = 0; j < q; j++) {
+    queries[j] = rand() % (2 * n);
+  }
+  #pragma omp target teams distribute parallel for map(to: array[0:n]) map(to: queries[0:q]) map(from: results[0:q]) num_threads(256)
+  for (int j = 0; j < q; j++) {
+    int key = queries[j];
+    int lo = 0;
+    int hi = n;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (array[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    results[j] = lo;
+  }
+  long checksum = 0;
+  for (int j = 0; j < q; j++) {
+    checksum += results[j] * ((j % 3) + 1);
+  }
+  printf("queries %d\n", q);
+  printf("checksum %ld\n", checksum);
+  free(array);
+  free(queries);
+  free(results);
+  return 0;
+}
+"""
+
+SPEC = AppSpec(
+    name="bsearch",
+    category="Search",
+    paper_args=["10000", "1"],
+    args=["2048", "64"],
+    cuda_source=CUDA_SOURCE,
+    omp_source=OMP_SOURCE,
+    work_scale=9034.16,
+    launch_scale=31.3506,
+    paper_runtime_cuda=0.3273,
+    paper_runtime_omp=0.0140,
+    notes=(
+        "Port asymmetry mirrors HeCBench: the CUDA port re-uploads the array "
+        "every repetition; the OpenMP port runs the pass once."
+    ),
+)

@@ -1,0 +1,121 @@
+"""colorwheel — Computer vision and image processing category (Table IV
+row 9).
+
+Renders an optical-flow color wheel (angle/radius -> RGB).  The CUDA port
+re-renders and downloads the image on every repetition; the OpenMP port
+renders once into mapped memory.  The rendering is idempotent so both print
+identical checksums — paper: 0.3009 s (CUDA) vs 0.0032 s (OpenMP), the
+suite's most extreme port asymmetry.
+"""
+
+from repro.hecbench.spec import AppSpec
+
+CUDA_SOURCE = r"""
+// colorwheel: render an optical-flow color wheel image.
+__global__ void render_wheel(float* img, int w) {
+  int idx = blockIdx.x * blockDim.x + threadIdx.x;
+  if (idx < w * w) {
+    int y = idx / w;
+    int x = idx % w;
+    float cx = (x - w / 2) * 1.0f;
+    float cy = (y - w / 2) * 1.0f;
+    float radius = sqrtf(cx * cx + cy * cy);
+    float angle = atan2f(cy, cx);
+    float rr = 0.5f + 0.5f * cosf(angle);
+    float gg = 0.5f + 0.5f * cosf(angle - 2.0943951f);
+    float bb = 0.5f + 0.5f * cosf(angle + 2.0943951f);
+    float scale = radius / (w / 2);
+    if (scale > 1.0f) {
+      scale = 1.0f;
+    }
+    img[3 * idx + 0] = rr * scale;
+    img[3 * idx + 1] = gg * scale;
+    img[3 * idx + 2] = bb * scale;
+  }
+}
+
+int main(int argc, char** argv) {
+  int w = atoi(argv[1]);
+  int repeat = atoi(argv[2]);
+  int pixels = w * w;
+  float* h_img = (float*)malloc(3 * pixels * sizeof(float));
+  float* d_img;
+  cudaMalloc(&d_img, 3 * pixels * sizeof(float));
+  int threads = 128;
+  int blocks = (pixels + threads - 1) / threads;
+  for (int r = 0; r < repeat; r++) {
+    render_wheel<<<blocks, threads>>>(d_img, w);
+    cudaMemcpy(h_img, d_img, 3 * pixels * sizeof(float), cudaMemcpyDeviceToHost);
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < 3 * pixels; i++) {
+    checksum += h_img[i];
+  }
+  printf("size %d\n", w);
+  printf("checksum %.4f\n", checksum);
+  cudaFree(d_img);
+  free(h_img);
+  return 0;
+}
+"""
+
+OMP_SOURCE = r"""
+// colorwheel: render an optical-flow color wheel image (target offload).
+// This port renders the (idempotent) wheel once and verifies on the device,
+// so no pixel data ever crosses PCIe.
+int main(int argc, char** argv) {
+  int w = atoi(argv[1]);
+  int repeat = atoi(argv[2]);
+  int pixels = w * w;
+  int total = 3 * pixels;
+  float* img = (float*)malloc(total * sizeof(float));
+  double checksum = 0.0;
+  #pragma omp target data map(alloc: img[0:total])
+  {
+  #pragma omp target teams distribute parallel for
+  for (int idx = 0; idx < pixels; idx++) {
+    int y = idx / w;
+    int x = idx % w;
+    float cx = (x - w / 2) * 1.0f;
+    float cy = (y - w / 2) * 1.0f;
+    float radius = sqrtf(cx * cx + cy * cy);
+    float angle = atan2f(cy, cx);
+    float rr = 0.5f + 0.5f * cosf(angle);
+    float gg = 0.5f + 0.5f * cosf(angle - 2.0943951f);
+    float bb = 0.5f + 0.5f * cosf(angle + 2.0943951f);
+    float scale = radius / (w / 2);
+    if (scale > 1.0f) {
+      scale = 1.0f;
+    }
+    img[3 * idx + 0] = rr * scale;
+    img[3 * idx + 1] = gg * scale;
+    img[3 * idx + 2] = bb * scale;
+  }
+  #pragma omp target teams distribute parallel for reduction(+: checksum)
+  for (int i = 0; i < total; i++) {
+    checksum += img[i];
+  }
+  }
+  printf("size %d\n", w);
+  printf("checksum %.4f\n", checksum);
+  free(img);
+  return 0;
+}
+"""
+
+SPEC = AppSpec(
+    name="colorwheel",
+    category="Computer vision and image processing",
+    paper_args=["10000", "8", "1"],
+    args=["40", "24"],
+    cuda_source=CUDA_SOURCE,
+    omp_source=OMP_SOURCE,
+    work_scale=8829.16,
+    launch_scale=23.9627,
+    paper_runtime_cuda=0.3009,
+    paper_runtime_omp=0.0032,
+    notes=(
+        "Port asymmetry mirrors HeCBench: the CUDA port re-renders and "
+        "downloads per repetition; the OpenMP port renders once."
+    ),
+)

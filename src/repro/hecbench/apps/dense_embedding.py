@@ -1,0 +1,137 @@
+"""dense-embedding — Machine learning category (Table IV row 5).
+
+Embedding-bag lookup: gather rows of an embedding table for a batch of
+indices and add a bias.  Like jacobi, the OpenMP port maps the (large)
+embedding table on every repetition instead of keeping it resident, which
+reproduces the paper's 0.8055 s (CUDA) vs 57.1536 s (OpenMP) gap.
+"""
+
+from repro.hecbench.spec import AppSpec
+
+CUDA_SOURCE = r"""
+// dense-embedding: batched embedding lookup with bias.
+__global__ void embedding_lookup(float* table, int* indices, float* bias,
+                                 float* out, int batch, int dim) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < batch * dim) {
+    int b = i / dim;
+    int d = i % dim;
+    out[i] = table[indices[b] * dim + d] + bias[d];
+  }
+}
+
+int main(int argc, char** argv) {
+  int batch = atoi(argv[1]);
+  int dim = atoi(argv[2]);
+  int repeat = atoi(argv[3]);
+  int vocab = 512;
+  float* h_table = (float*)malloc(vocab * dim * sizeof(float));
+  int* h_indices = (int*)malloc(batch * sizeof(int));
+  float* h_bias = (float*)malloc(dim * sizeof(float));
+  float* h_out = (float*)malloc(batch * dim * sizeof(float));
+  srand(2024);
+  for (int i = 0; i < vocab * dim; i++) {
+    h_table[i] = (rand() % 1000) * 0.001f;
+  }
+  for (int b = 0; b < batch; b++) {
+    h_indices[b] = rand() % vocab;
+  }
+  for (int d = 0; d < dim; d++) {
+    h_bias[d] = d * 0.125f;
+  }
+  float* d_table;
+  int* d_indices;
+  float* d_bias;
+  float* d_out;
+  cudaMalloc(&d_table, vocab * dim * sizeof(float));
+  cudaMalloc(&d_indices, batch * sizeof(int));
+  cudaMalloc(&d_bias, dim * sizeof(float));
+  cudaMalloc(&d_out, batch * dim * sizeof(float));
+  cudaMemcpy(d_table, h_table, vocab * dim * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_indices, h_indices, batch * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_bias, h_bias, dim * sizeof(float), cudaMemcpyHostToDevice);
+  int total = batch * dim;
+  int threads = 256;
+  int blocks = (total + threads - 1) / threads;
+  for (int r = 0; r < repeat; r++) {
+    embedding_lookup<<<blocks, threads>>>(d_table, d_indices, d_bias, d_out, batch, dim);
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_out, d_out, total * sizeof(float), cudaMemcpyDeviceToHost);
+  double checksum = 0.0;
+  for (int i = 0; i < total; i++) {
+    checksum += h_out[i];
+  }
+  printf("batch %d dim %d\n", batch, dim);
+  printf("checksum %.4f\n", checksum);
+  cudaFree(d_table);
+  cudaFree(d_indices);
+  cudaFree(d_bias);
+  cudaFree(d_out);
+  free(h_table);
+  free(h_indices);
+  free(h_bias);
+  free(h_out);
+  return 0;
+}
+"""
+
+OMP_SOURCE = r"""
+// dense-embedding: batched embedding lookup with bias.
+// Note: this port maps the embedding table on every repetition.
+int main(int argc, char** argv) {
+  int batch = atoi(argv[1]);
+  int dim = atoi(argv[2]);
+  int repeat = atoi(argv[3]);
+  int vocab = 512;
+  int tab = vocab * dim;
+  int total = batch * dim;
+  float* table = (float*)malloc(tab * sizeof(float));
+  int* indices = (int*)malloc(batch * sizeof(int));
+  float* bias = (float*)malloc(dim * sizeof(float));
+  float* out = (float*)malloc(total * sizeof(float));
+  srand(2024);
+  for (int i = 0; i < tab; i++) {
+    table[i] = (rand() % 1000) * 0.001f;
+  }
+  for (int b = 0; b < batch; b++) {
+    indices[b] = rand() % vocab;
+  }
+  for (int d = 0; d < dim; d++) {
+    bias[d] = d * 0.125f;
+  }
+  for (int r = 0; r < repeat; r++) {
+    #pragma omp target teams distribute parallel for map(tofrom: table[0:tab]) map(to: indices[0:batch]) map(to: bias[0:dim]) map(from: out[0:total])
+    for (int i = 0; i < total; i++) {
+      int b = i / dim;
+      int d = i % dim;
+      out[i] = table[indices[b] * dim + d] + bias[d];
+    }
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < total; i++) {
+    checksum += out[i];
+  }
+  printf("batch %d dim %d\n", batch, dim);
+  printf("checksum %.4f\n", checksum);
+  free(table);
+  free(indices);
+  free(bias);
+  free(out);
+  return 0;
+}
+"""
+
+SPEC = AppSpec(
+    name="dense-embedding",
+    category="Machine learning",
+    paper_args=["10000", "8", "1"],
+    args=["64", "8", "100"],
+    cuda_source=CUDA_SOURCE,
+    omp_source=OMP_SOURCE,
+    work_scale=70674.6,
+    launch_scale=1.25859,
+    paper_runtime_cuda=0.8055,
+    paper_runtime_omp=57.1536,
+    notes="OpenMP port remaps the table every repetition: transfer-bound.",
+)

@@ -1,0 +1,106 @@
+"""layout — Language and kernel features category (Table IV row 3).
+
+Array-of-structures to structure-of-arrays transformation.  The CUDA port
+re-stages its buffers over PCIe on every repetition (it measures the full
+transform-and-return path), while the OpenMP port keeps the buffers mapped
+across repetitions — the paper measured 0.4088 s (CUDA) vs 0.2573 s
+(OpenMP), one of the rows where OpenMP wins.
+"""
+
+from repro.hecbench.spec import AppSpec
+
+CUDA_SOURCE = r"""
+// layout: AoS -> SoA transform of a 4-field record array.
+__global__ void aos_to_soa(float* in, float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[0 * n + i] = in[i * 4 + 0];
+    out[1 * n + i] = in[i * 4 + 1];
+    out[2 * n + i] = in[i * 4 + 2];
+    out[3 * n + i] = in[i * 4 + 3];
+  }
+}
+
+int main(int argc, char** argv) {
+  int repeat = atoi(argv[1]);
+  int n = 512;
+  int total = n * 4;
+  float* h_in = (float*)malloc(total * sizeof(float));
+  float* h_out = (float*)malloc(total * sizeof(float));
+  srand(7);
+  for (int i = 0; i < total; i++) {
+    h_in[i] = (rand() % 100) * 0.5f;
+  }
+  float* d_in;
+  float* d_out;
+  cudaMalloc(&d_in, total * sizeof(float));
+  cudaMalloc(&d_out, total * sizeof(float));
+  int threads = 128;
+  int blocks = (n + threads - 1) / threads;
+  for (int r = 0; r < repeat; r++) {
+    cudaMemcpy(d_in, h_in, total * sizeof(float), cudaMemcpyHostToDevice);
+    aos_to_soa<<<blocks, threads>>>(d_in, d_out, n);
+    cudaMemcpy(h_out, d_out, total * sizeof(float), cudaMemcpyDeviceToHost);
+  }
+  cudaDeviceSynchronize();
+  double checksum = 0.0;
+  for (int i = 0; i < total; i++) {
+    checksum += h_out[i] * ((i % 5) + 1);
+  }
+  printf("checksum %.4f\n", checksum);
+  cudaFree(d_in);
+  cudaFree(d_out);
+  free(h_in);
+  free(h_out);
+  return 0;
+}
+"""
+
+OMP_SOURCE = r"""
+// layout: AoS -> SoA transform of a 4-field record array.
+int main(int argc, char** argv) {
+  int repeat = atoi(argv[1]);
+  int n = 512;
+  int total = n * 4;
+  float* in = (float*)malloc(total * sizeof(float));
+  float* out = (float*)malloc(total * sizeof(float));
+  srand(7);
+  for (int i = 0; i < total; i++) {
+    in[i] = (rand() % 100) * 0.5f;
+  }
+  #pragma omp target data map(to: in[0:total]) map(from: out[0:total])
+  {
+    for (int r = 0; r < repeat; r++) {
+      #pragma omp target teams distribute parallel for
+      for (int i = 0; i < n; i++) {
+        out[0 * n + i] = in[i * 4 + 0];
+        out[1 * n + i] = in[i * 4 + 1];
+        out[2 * n + i] = in[i * 4 + 2];
+        out[3 * n + i] = in[i * 4 + 3];
+      }
+    }
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < total; i++) {
+    checksum += out[i] * ((i % 5) + 1);
+  }
+  printf("checksum %.4f\n", checksum);
+  free(in);
+  free(out);
+  return 0;
+}
+"""
+
+SPEC = AppSpec(
+    name="layout",
+    category="Language and kernel features",
+    paper_args=["1"],
+    args=["4"],
+    cuda_source=CUDA_SOURCE,
+    omp_source=OMP_SOURCE,
+    work_scale=32934.7,
+    launch_scale=3.93077,
+    paper_runtime_cuda=0.4088,
+    paper_runtime_omp=0.2573,
+    notes="CUDA port re-stages buffers each repetition; OpenMP stays mapped.",
+)

@@ -1,0 +1,140 @@
+"""pathfinder — Simulation category (Table IV row 6).
+
+Rodinia-style dynamic programming: row-by-row minimum-cost path through a
+grid, one device sweep per row.  Both ports keep data resident; the OpenMP
+port pays its higher per-region overhead and lower offload efficiency —
+paper: 0.5420 s (CUDA) vs 0.7256 s (OpenMP).
+"""
+
+from repro.hecbench.spec import AppSpec
+
+CUDA_SOURCE = r"""
+// pathfinder: row-wise DP for minimum path cost.
+__global__ void path_step(int* wall, int* src, int* dst, int cols, int row) {
+  int c = blockIdx.x * blockDim.x + threadIdx.x;
+  if (c < cols) {
+    int best = src[c];
+    if (c > 0 && src[c - 1] < best) {
+      best = src[c - 1];
+    }
+    if (c < cols - 1 && src[c + 1] < best) {
+      best = src[c + 1];
+    }
+    dst[c] = wall[row * cols + c] + best;
+  }
+}
+
+int main(int argc, char** argv) {
+  int cols = atoi(argv[1]);
+  int rows = atoi(argv[2]);
+  int* h_wall = (int*)malloc(rows * cols * sizeof(int));
+  srand(55);
+  for (int i = 0; i < rows * cols; i++) {
+    h_wall[i] = rand() % 10;
+  }
+  int* d_wall;
+  int* d_src;
+  int* d_dst;
+  cudaMalloc(&d_wall, rows * cols * sizeof(int));
+  cudaMalloc(&d_src, cols * sizeof(int));
+  cudaMalloc(&d_dst, cols * sizeof(int));
+  cudaMemcpy(d_wall, h_wall, rows * cols * sizeof(int), cudaMemcpyHostToDevice);
+  int* h_row = (int*)malloc(cols * sizeof(int));
+  for (int c = 0; c < cols; c++) {
+    h_row[c] = h_wall[c];
+  }
+  cudaMemcpy(d_src, h_row, cols * sizeof(int), cudaMemcpyHostToDevice);
+  int threads = 128;
+  int blocks = (cols + threads - 1) / threads;
+  for (int row = 1; row < rows; row++) {
+    path_step<<<blocks, threads>>>(d_wall, d_src, d_dst, cols, row);
+    int* tmp = d_src;
+    d_src = d_dst;
+    d_dst = tmp;
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_row, d_src, cols * sizeof(int), cudaMemcpyDeviceToHost);
+  long checksum = 0;
+  int best = h_row[0];
+  for (int c = 0; c < cols; c++) {
+    checksum += h_row[c];
+    if (h_row[c] < best) {
+      best = h_row[c];
+    }
+  }
+  printf("best %d\n", best);
+  printf("checksum %ld\n", checksum);
+  cudaFree(d_wall);
+  cudaFree(d_src);
+  cudaFree(d_dst);
+  free(h_wall);
+  free(h_row);
+  return 0;
+}
+"""
+
+OMP_SOURCE = r"""
+// pathfinder: row-wise DP for minimum path cost (target offload).
+int main(int argc, char** argv) {
+  int cols = atoi(argv[1]);
+  int rows = atoi(argv[2]);
+  int* wall = (int*)malloc(rows * cols * sizeof(int));
+  int* src = (int*)malloc(cols * sizeof(int));
+  int* dst = (int*)malloc(cols * sizeof(int));
+  srand(55);
+  for (int i = 0; i < rows * cols; i++) {
+    wall[i] = rand() % 10;
+  }
+  for (int c = 0; c < cols; c++) {
+    src[c] = wall[c];
+  }
+  int rc = rows * cols;
+  #pragma omp target data map(to: wall[0:rc]) map(tofrom: src[0:cols]) map(tofrom: dst[0:cols])
+  {
+    for (int row = 1; row < rows; row++) {
+      #pragma omp target teams distribute parallel for
+      for (int c = 0; c < cols; c++) {
+        int best = src[c];
+        if (c > 0 && src[c - 1] < best) {
+          best = src[c - 1];
+        }
+        if (c < cols - 1 && src[c + 1] < best) {
+          best = src[c + 1];
+        }
+        dst[c] = wall[row * cols + c] + best;
+      }
+      int* tmp = src;
+      src = dst;
+      dst = tmp;
+    }
+  }
+  long checksum = 0;
+  int best = src[0];
+  for (int c = 0; c < cols; c++) {
+    checksum += src[c];
+    if (src[c] < best) {
+      best = src[c];
+    }
+  }
+  printf("best %d\n", best);
+  printf("checksum %ld\n", checksum);
+  free(wall);
+  free(src);
+  free(dst);
+  return 0;
+}
+"""
+
+SPEC = AppSpec(
+    name="pathfinder",
+    category="Simulation",
+    paper_args=["10000", "1000", "1000"],
+    args=["160", "12"],
+    cuda_source=CUDA_SOURCE,
+    omp_source=OMP_SOURCE,
+    work_scale=122205,
+    launch_scale=247.132,
+    paper_runtime_cuda=0.5420,
+    paper_runtime_omp=0.7256,
+    notes="Device-resident in both ports; OpenMP pays region overheads.",
+)

@@ -1,0 +1,102 @@
+"""randomAccess — Bandwidth category (Table IV row 10).
+
+HPCC RandomAccess (GUPS)-style kernel: XOR-update pseudo-random locations of
+a table.  Updates are order-independent, so both ports print identical
+verification output.  Memory-system bound; the OpenMP port's lower achieved
+bandwidth makes it ~1.6x slower — paper: 5.0139 s (CUDA) vs 7.9159 s
+(OpenMP).
+"""
+
+from repro.hecbench.spec import AppSpec
+
+CUDA_SOURCE = r"""
+// randomAccess: GUPS-style random XOR updates of a table.
+__global__ void update_table(int* table, int tsize, int per_thread, int nthreads) {
+  int t = blockIdx.x * blockDim.x + threadIdx.x;
+  if (t < nthreads) {
+    int ran = t * 2654435761;
+    for (int k = 0; k < per_thread; k++) {
+      ran = (ran * 1103515245 + 12345) & 2147483647;
+      int pos = ran & (tsize - 1);
+      table[pos] = table[pos] ^ ran;
+    }
+  }
+}
+
+int main(int argc, char** argv) {
+  int scale = atoi(argv[1]);
+  int tsize = 2048 * scale;
+  int nthreads = 1024;
+  int per_thread = 4 * scale;
+  int* h_table = (int*)malloc(tsize * sizeof(int));
+  for (int i = 0; i < tsize; i++) {
+    h_table[i] = i;
+  }
+  int* d_table;
+  cudaMalloc(&d_table, tsize * sizeof(int));
+  cudaMemcpy(d_table, h_table, tsize * sizeof(int), cudaMemcpyHostToDevice);
+  int threads = 256;
+  int blocks = (nthreads + threads - 1) / threads;
+  update_table<<<blocks, threads>>>(d_table, tsize, per_thread, nthreads);
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_table, d_table, tsize * sizeof(int), cudaMemcpyDeviceToHost);
+  int verify = 0;
+  long checksum = 0;
+  for (int i = 0; i < tsize; i++) {
+    verify = verify ^ h_table[i];
+    checksum += h_table[i] % 1000;
+  }
+  printf("table %d updates %d\n", tsize, nthreads * per_thread);
+  printf("verify %d checksum %ld\n", verify, checksum);
+  cudaFree(d_table);
+  free(h_table);
+  return 0;
+}
+"""
+
+OMP_SOURCE = r"""
+// randomAccess: GUPS-style random XOR updates of a table (target offload).
+int main(int argc, char** argv) {
+  int scale = atoi(argv[1]);
+  int tsize = 2048 * scale;
+  int nthreads = 1024;
+  int per_thread = 4 * scale;
+  int* table = (int*)malloc(tsize * sizeof(int));
+  for (int i = 0; i < tsize; i++) {
+    table[i] = i;
+  }
+  #pragma omp target teams distribute parallel for map(tofrom: table[0:tsize])
+  for (int t = 0; t < nthreads; t++) {
+    int ran = t * 2654435761;
+    for (int k = 0; k < per_thread; k++) {
+      ran = (ran * 1103515245 + 12345) & 2147483647;
+      int pos = ran & (tsize - 1);
+      table[pos] = table[pos] ^ ran;
+    }
+  }
+  int verify = 0;
+  long checksum = 0;
+  for (int i = 0; i < tsize; i++) {
+    verify = verify ^ table[i];
+    checksum += table[i] % 1000;
+  }
+  printf("table %d updates %d\n", tsize, nthreads * per_thread);
+  printf("verify %d checksum %ld\n", verify, checksum);
+  free(table);
+  return 0;
+}
+"""
+
+SPEC = AppSpec(
+    name="randomAccess",
+    category="Bandwidth",
+    paper_args=["1"],
+    args=["2"],
+    cuda_source=CUDA_SOURCE,
+    omp_source=OMP_SOURCE,
+    work_scale=221917,
+    launch_scale=52525.8,
+    paper_runtime_cuda=5.0139,
+    paper_runtime_omp=7.9159,
+    notes="Memory-system bound; OpenMP achieves lower effective bandwidth.",
+)

@@ -1,0 +1,136 @@
+"""Scale-factor calibration against Table IV.
+
+Each app's simulated runtime is linear in its two scale factors:
+
+    t(dialect) = A_work(dialect) * work_scale + A_launch(dialect) * launch_scale
+
+where ``A_work`` sums the throughput-limited components of the unscaled
+breakdown and ``A_launch`` the per-event overheads.  With one runtime target
+per dialect (Table IV), the pair (work_scale, launch_scale) is the solution
+of a 2x2 linear system — when it is positive, the baked factors reproduce
+*both* Table IV baselines exactly; otherwise we fall back to a clamped
+least-squares fit and the shape (who wins) is preserved.
+
+The solved factors are baked into each :class:`AppSpec`;
+``benchmarks/test_table4_baselines.py`` re-derives Table IV from them, and
+``tests/hecbench/test_calibration.py`` asserts the baked values still solve
+the system (guarding against perf-model drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.gpu import PerformanceModel
+from repro.gpu.perfmodel import TimeBreakdown
+from repro.hecbench.spec import AppSpec
+from repro.minilang.source import Dialect
+from repro.toolchain import Executor, compiler_for
+
+
+def breakdown_components(bd: TimeBreakdown) -> Tuple[float, float]:
+    """Split an unscaled breakdown into (work_component, launch_component)."""
+    work = bd.host + bd.kernel_compute + bd.atomic + bd.transfer_bandwidth
+    launch = bd.kernel_overhead + bd.transfer_latency
+    return work, launch
+
+
+@dataclass
+class CalibrationResult:
+    app: str
+    work_scale: float
+    launch_scale: float
+    predicted_cuda: float
+    predicted_omp: float
+    exact: bool
+
+
+def measure_components(
+    app: AppSpec, perf_model: Optional[PerformanceModel] = None
+) -> Dict[Dialect, Tuple[float, float]]:
+    """Run both reference codes and return unscaled (work, launch) terms."""
+    executor = Executor(perf_model)
+    out: Dict[Dialect, Tuple[float, float]] = {}
+    for dialect in (Dialect.CUDA, Dialect.OMP):
+        result = compiler_for(dialect).compile(app.source(dialect))
+        if not result.ok:
+            raise RuntimeError(
+                f"reference {app.name} ({dialect.value}) failed to compile:\n"
+                f"{result.stderr}"
+            )
+        run = executor.run(result.program, dialect, app.args,
+                           work_scale=1.0, launch_scale=1.0)
+        if not run.ok:
+            raise RuntimeError(
+                f"reference {app.name} ({dialect.value}) failed to run: {run.stderr}"
+            )
+        out[dialect] = breakdown_components(run.breakdown)
+    return out
+
+
+#: Per-app overrides of the fallback mixing parameter (see below).  bsearch
+#: is deliberately calibrated work-heavy so that the §V-D "single thread"
+#: perf fault produces the paper's observed large slowdown mechanism.
+ALPHA_OVERRIDES = {"bsearch": 0.9}
+
+
+def solve_scales(
+    app: AppSpec,
+    perf_model: Optional[PerformanceModel] = None,
+    alpha_override: Optional[float] = None,
+) -> CalibrationResult:
+    """Solve (work_scale, launch_scale) against the app's Table IV targets."""
+    if alpha_override is None:
+        alpha_override = ALPHA_OVERRIDES.get(app.name)
+    comps = measure_components(app, perf_model)
+    a_c, b_c = comps[Dialect.CUDA]
+    a_o, b_o = comps[Dialect.OMP]
+    t_c = app.paper_runtime_cuda
+    t_o = app.paper_runtime_omp
+    if t_c is None or t_o is None:
+        raise ValueError(f"app {app.name} lacks Table IV targets")
+
+    det = a_c * b_o - a_o * b_c
+    exact = False
+    w = l = None
+    if alpha_override is None and abs(det) > 1e-30:
+        w = (t_c * b_o - t_o * b_c) / det
+        l = (a_c * t_o - a_o * t_c) / det
+        exact = w > 0 and l > 0
+    if alpha_override is not None:
+        alpha = min(0.999, max(0.001, alpha_override))
+        w = alpha * t_c / a_c
+        l = (1.0 - alpha) * t_c / b_c
+        exact = False
+    elif not exact:
+        # Constrained fallback: keep the CUDA baseline exact and move along
+        # the feasible line w = alpha*t_c/a_c, l = (1-alpha)*t_c/b_c to get
+        # the OpenMP runtime as close to its target as the structure allows
+        # (t_o is linear and monotone in alpha, so clamping suffices).
+        if a_c <= 0 or b_c <= 0:
+            denom = a_c + b_c
+            w = l = t_c / denom if denom > 0 else 1.0
+        else:
+            to_full_w = a_o * t_c / a_c + 0.0
+            to_full_l = b_o * t_c / b_c + 0.0
+            if abs(to_full_w - to_full_l) < 1e-30:
+                alpha = 1.0
+            else:
+                alpha = (t_o - to_full_l) / (to_full_w - to_full_l)
+            alpha = min(1.0, max(0.0, alpha))
+            # Keep a sliver of the other component so both factors stay
+            # positive (zero scales are rejected by the perf model).
+            alpha = min(0.999, max(0.001, alpha))
+            w = alpha * t_c / a_c
+            l = (1.0 - alpha) * t_c / b_c
+    pred_c = a_c * w + b_c * l
+    pred_o = a_o * w + b_o * l
+    return CalibrationResult(
+        app=app.name,
+        work_scale=w,
+        launch_scale=l,
+        predicted_cuda=pred_c,
+        predicted_omp=pred_o,
+        exact=exact,
+    )

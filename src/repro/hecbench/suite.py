@@ -1,0 +1,55 @@
+"""Suite registry: the ten Table IV applications in paper order."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import UnknownApplicationError
+from repro.hecbench.spec import AppSpec
+from repro.hecbench.apps import (
+    atomic_cost,
+    bsearch,
+    colorwheel,
+    dense_embedding,
+    entropy,
+    jacobi,
+    layout,
+    matrix_rotate,
+    pathfinder,
+    random_access,
+)
+
+#: Paper order (Table IV rows).
+_APPS: List[AppSpec] = [
+    matrix_rotate.SPEC,
+    jacobi.SPEC,
+    layout.SPEC,
+    atomic_cost.SPEC,
+    dense_embedding.SPEC,
+    pathfinder.SPEC,
+    bsearch.SPEC,
+    entropy.SPEC,
+    colorwheel.SPEC,
+    random_access.SPEC,
+]
+
+_BY_NAME: Dict[str, AppSpec] = {app.name: app for app in _APPS}
+
+
+def all_apps() -> List[AppSpec]:
+    """All ten applications in Table IV order."""
+    return list(_APPS)
+
+
+def app_names() -> List[str]:
+    return [app.name for app in _APPS]
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise UnknownApplicationError(
+            f"unknown application {name!r}; known apps: {known}"
+        ) from None

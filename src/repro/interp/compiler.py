@@ -1,0 +1,965 @@
+"""AST -> Python-closure compiler.
+
+Each expression compiles to ``fn(env) -> value`` and each statement to
+``fn(env) -> signal`` where the signal is ``None`` (fall through), ``BREAK``,
+``CONTINUE`` or ``(RETURN, value)``.  Compiling once and executing closures
+is the standard fast-tree-walk technique: the per-node dataclass dispatch
+cost is paid at compile time instead of once per executed statement, which
+matters when a kernel body runs for thousands of simulated threads.
+
+Kernels containing ``__syncthreads()`` are compiled in *generator mode*
+(each statement is a generator that yields ``BARRIER``), so the executor can
+interleave the threads of a block at barrier granularity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import GuestRuntimeError, InterpreterError
+from repro.interp.memory import Buffer, ElemRef, MemoryManager, Pointer, ScalarRef
+from repro.interp.values import c_div, c_mod, c_printf, truthy
+from repro.minilang import ast
+from repro.minilang import types as ty
+from repro.minilang.builtins import BUILTINS, CONSTANTS, GEOMETRY_BUILTINS
+
+BREAK = "__break__"
+CONTINUE = "__continue__"
+RETURN = "__return__"
+BARRIER = "__barrier__"
+
+_SEGFAULT = "Segmentation fault (core dumped)"
+
+
+class GuestExit(Exception):
+    """Raised by the ``exit()`` builtin to unwind the guest program."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+def _contains_barrier(stmt: ast.Stmt) -> bool:
+    return any(isinstance(s, ast.SyncThreads) for s in ast.walk_stmts(stmt))
+
+
+def collect_local_types(fn: ast.FuncDef) -> Dict[str, ty.Type]:
+    """Static name -> type map for a function (params + all declarations).
+
+    Scopes are flattened; the semantic analyzer has already validated scoping,
+    and redeclaration with a *different* type across sibling scopes is outside
+    the supported subset.
+    """
+    out: Dict[str, ty.Type] = {}
+    for p in fn.params:
+        if p.name:
+            out[p.name] = p.type
+    for s in ast.walk_stmts(fn.body):
+        if isinstance(s, ast.VarDecl):
+            t = s.type.pointer_to() if s.array_size is not None else s.type
+            out[s.name] = t
+        elif isinstance(s, ast.For) and isinstance(s.init, ast.VarDecl):
+            d = s.init
+            out[d.name] = d.type.pointer_to() if d.array_size is not None else d.type
+    return out
+
+
+class FunctionCompiler:
+    """Compiles one function body against a runner's context."""
+
+    def __init__(self, runner, fn: ast.FuncDef) -> None:
+        self.runner = runner
+        self.ctx = runner.ctx
+        self.fn = fn
+        self.types = collect_local_types(fn)
+        self.is_device = fn.qualifier in ("__global__", "__device__")
+        self.barrier_mode = fn.is_kernel and _contains_barrier(fn.body)
+        self.shared_decls: List[ast.VarDecl] = [
+            s for s in ast.walk_stmts(fn.body)
+            if isinstance(s, ast.VarDecl) and s.shared
+        ]
+
+    # ------------------------------------------------------------------
+    def compile_body(self) -> Callable:
+        """Compile the function body; returns stmt-closure or generator fn."""
+        if self.barrier_mode:
+            return self.compile_stmt_gen(self.fn.body)
+        return self.compile_stmt(self.fn.body)
+
+    def static_type(self, expr: ast.Expr) -> Optional[ty.Type]:
+        """Best-effort static type (enough for allocation/truncation)."""
+        if isinstance(expr, ast.Ident):
+            t = self.types.get(expr.name)
+            if t is not None:
+                return t
+            g = self.runner.global_types.get(expr.name)
+            return g
+        if isinstance(expr, ast.Cast):
+            return expr.type
+        if isinstance(expr, ast.Index):
+            base = self.static_type(expr.base)
+            if base is not None and base.is_pointer:
+                return base.pointee()
+            return None
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            base = self.static_type(expr.operand)
+            if base is not None and base.is_pointer:
+                return base.pointee()
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            base = self.static_type(expr.operand)
+            if base is not None:
+                return base.pointer_to()
+        return None
+
+    # ==================================================================
+    # Expressions
+    # ==================================================================
+    def compile_expr(self, e: ast.Expr) -> Callable:
+        ctx = self.ctx
+
+        if isinstance(e, ast.IntLit):
+            v = e.value
+            return lambda env: v
+        if isinstance(e, ast.FloatLit):
+            v = e.value
+            return lambda env: v
+        if isinstance(e, ast.StrLit):
+            v = e.value
+            return lambda env: v
+        if isinstance(e, ast.CharLit):
+            v = ord(e.value) if e.value else 0
+            return lambda env: v
+        if isinstance(e, ast.BoolLit):
+            v = 1 if e.value else 0
+            return lambda env: v
+        if isinstance(e, ast.NullLit):
+            return lambda env: None
+        if isinstance(e, ast.Ident):
+            return self._compile_ident(e)
+        if isinstance(e, ast.Member):
+            return self._compile_member(e)
+        if isinstance(e, ast.Index):
+            return self._compile_index_load(e)
+        if isinstance(e, ast.Unary):
+            return self._compile_unary(e)
+        if isinstance(e, ast.Postfix):
+            return self._compile_postfix(e)
+        if isinstance(e, ast.Binary):
+            return self._compile_binary(e)
+        if isinstance(e, ast.Assign):
+            return self._compile_assign(e)
+        if isinstance(e, ast.Ternary):
+            cond = self.compile_expr(e.cond)
+            then = self.compile_expr(e.then)
+            other = self.compile_expr(e.other)
+            return lambda env: then(env) if truthy(cond(env)) else other(env)
+        if isinstance(e, ast.Call):
+            return self._compile_call(e)
+        if isinstance(e, ast.Launch):
+            return self._compile_launch(e)
+        if isinstance(e, ast.Cast):
+            return self._compile_cast(e)
+        if isinstance(e, ast.SizeOf):
+            v = e.type.size
+            return lambda env: v
+        raise InterpreterError(f"cannot compile expression {type(e).__name__}")
+
+    # ------------------------------------------------------------------
+    def _compile_ident(self, e: ast.Ident) -> Callable:
+        name = e.name
+        if name in self.types:
+            def local_load(env, _n=name):
+                return env[_n]
+            return local_load
+        if name in self.runner.global_env or name in self.runner.global_types:
+            genv = self.runner.global_env
+            def global_load(env, _n=name, _g=genv):
+                return _g[_n]
+            return global_load
+        if name in CONSTANTS:
+            v = CONSTANTS[name][0]
+            return lambda env: v
+        if name in GEOMETRY_BUILTINS:
+            # Bare geometry name (no .x): treat as its .x component.
+            return self._geom_closure(name, "x")
+        # Unbound name that slipped past semantics (should not happen on a
+        # clean compile): fault at run time like a linker would.
+        def unbound(env, _n=name):
+            raise GuestRuntimeError(
+                _SEGFAULT, detail=f"use of unbound identifier '{_n}'"
+            )
+        return unbound
+
+    def _geom_closure(self, name: str, field: str) -> Callable:
+        ctx = self.ctx
+        if field == "x":
+            idx = {"threadIdx": 0, "blockIdx": 1, "blockDim": 2, "gridDim": 3}[name]
+            return lambda env: ctx.geom[idx]
+        # 1-D model: y/z indices are 0, y/z dims are 1.
+        v = 1 if name in ("blockDim", "gridDim") else 0
+        return lambda env: v
+
+    def _compile_member(self, e: ast.Member) -> Callable:
+        if isinstance(e.obj, ast.Ident) and e.obj.name in GEOMETRY_BUILTINS:
+            return self._geom_closure(e.obj.name, e.field_name)
+        raise InterpreterError("member access on non-geometry object")
+
+    # ------------------------------------------------------------------
+    def _compile_index_load(self, e: ast.Index) -> Callable:
+        ctx = self.ctx
+        base = self.compile_expr(e.base)
+        index = self.compile_expr(e.index)
+        check = MemoryManager.check_access
+
+        def load(env):
+            p = base(env)
+            if p is None:
+                raise GuestRuntimeError(
+                    _SEGFAULT, detail="NULL pointer dereference"
+                )
+            i = int(index(env))
+            buf = check(p.buf, p.off + i, ctx.space == "device")
+            c = ctx.counters
+            c.load_bytes += buf.elem_bytes
+            c.ops += 1
+            return buf.cells[p.off + i]
+        return load
+
+    def _compile_index_store(self, e: ast.Index) -> Callable:
+        """Returns store(env, value)."""
+        ctx = self.ctx
+        base = self.compile_expr(e.base)
+        index = self.compile_expr(e.index)
+        check = MemoryManager.check_access
+
+        def store(env, value):
+            p = base(env)
+            if p is None:
+                raise GuestRuntimeError(
+                    _SEGFAULT, detail="NULL pointer dereference"
+                )
+            i = int(index(env))
+            buf = check(p.buf, p.off + i, ctx.space == "device")
+            c = ctx.counters
+            c.store_bytes += buf.elem_bytes
+            if buf.is_float:
+                buf.cells[p.off + i] = float(value)
+            else:
+                buf.cells[p.off + i] = int(value)
+            return value
+        return store
+
+    # ------------------------------------------------------------------
+    def _compile_unary(self, e: ast.Unary) -> Callable:
+        ctx = self.ctx
+        op = e.op
+        if op == "&":
+            return self._compile_addressof(e.operand)
+        if op == "*":
+            # *p  ==  p[0]
+            synthetic = ast.Index(base=e.operand, index=ast.IntLit(0, "0"))
+            synthetic.span = e.span
+            return self._compile_index_load(synthetic)
+        operand = self.compile_expr(e.operand)
+        if op == "-":
+            def neg(env):
+                ctx.counters.ops += 1
+                return -operand(env)
+            return neg
+        if op == "!":
+            return lambda env: 0 if truthy(operand(env)) else 1
+        if op == "~":
+            def bnot(env):
+                ctx.counters.ops += 1
+                return ~int(operand(env))
+            return bnot
+        if op in ("++", "--"):
+            delta = 1 if op == "++" else -1
+            _, rmw = self._compile_rmw(e.operand)
+            def incr(env):
+                return rmw(env, delta, False)
+            return incr
+        raise InterpreterError(f"cannot compile unary op {op}")
+
+    def _compile_postfix(self, e: ast.Postfix) -> Callable:
+        delta = 1 if e.op == "++" else -1
+        _, rmw = self._compile_rmw(e.operand)
+        def post(env):
+            return rmw(env, delta, True)
+        return post
+
+    def _compile_rmw(self, target: ast.Expr) -> Tuple[Callable, Callable]:
+        """Read-modify-write helper for ++/--.
+
+        Returns (load, rmw) where rmw(env, delta, want_old) updates and
+        returns old or new value.
+        """
+        ctx = self.ctx
+        if isinstance(target, ast.Ident):
+            name = target.name
+            t = self.types.get(name)
+            if t is None and name in self.runner.global_types:
+                genv = self.runner.global_env
+                def g_rmw(env, delta, want_old, _n=name, _g=genv):
+                    ctx.counters.ops += 1
+                    old = _g[_n]
+                    if isinstance(old, Pointer):
+                        new = old.offset_by(delta)
+                    else:
+                        new = old + delta
+                    _g[_n] = new
+                    return old if want_old else new
+                return (lambda env: genv[name]), g_rmw
+
+            def l_rmw(env, delta, want_old, _n=name):
+                ctx.counters.ops += 1
+                old = env[_n]
+                if isinstance(old, Pointer):
+                    new = old.offset_by(delta)
+                else:
+                    new = old + delta
+                env[_n] = new
+                return old if want_old else new
+            return (lambda env: env[name]), l_rmw
+
+        if isinstance(target, ast.Index) or (
+            isinstance(target, ast.Unary) and target.op == "*"
+        ):
+            if isinstance(target, ast.Unary):
+                target = ast.Index(base=target.operand, index=ast.IntLit(0, "0"))
+            load = self._compile_index_load(target)
+            store = self._compile_index_store(target)
+
+            def m_rmw(env, delta, want_old):
+                ctx.counters.ops += 1
+                old = load(env)
+                new = old + delta
+                store(env, new)
+                return old if want_old else new
+            return load, m_rmw
+        raise InterpreterError("unsupported increment/decrement target")
+
+    def _compile_addressof(self, operand: ast.Expr) -> Callable:
+        if isinstance(operand, ast.Ident):
+            name = operand.name
+            if name in self.types:
+                t = self.types[name]
+                if t.is_pointer:
+                    # &ptr: reference to the pointer variable itself
+                    # (cudaMalloc(&d_a, ...) pattern).
+                    return lambda env: ScalarRef(env, name)
+                return lambda env: ScalarRef(env, name)
+            genv = self.runner.global_env
+            return lambda env: ScalarRef(genv, name)
+        if isinstance(operand, ast.Index):
+            base = self.compile_expr(operand.base)
+            index = self.compile_expr(operand.index)
+
+            def elem_ref(env):
+                p = base(env)
+                if p is None:
+                    raise GuestRuntimeError(
+                        _SEGFAULT, detail="NULL pointer dereference in '&expr[i]'"
+                    )
+                return ElemRef(p.offset_by(int(index(env))))
+            return elem_ref
+        if isinstance(operand, ast.Unary) and operand.op == "*":
+            inner = self.compile_expr(operand.operand)
+            def deref_ref(env):
+                p = inner(env)
+                return ElemRef(p)
+            return deref_ref
+        raise InterpreterError("unsupported operand of '&'")
+
+    # ------------------------------------------------------------------
+    def _compile_binary(self, e: ast.Binary) -> Callable:
+        ctx = self.ctx
+        op = e.op
+        left = self.compile_expr(e.left)
+        right = self.compile_expr(e.right)
+
+        if op == "&&":
+            return lambda env: 1 if (truthy(left(env)) and truthy(right(env))) else 0
+        if op == "||":
+            return lambda env: 1 if (truthy(left(env)) or truthy(right(env))) else 0
+
+        if op in ("==", "!="):
+            eq = op == "=="
+            def cmp_eq(env):
+                ctx.counters.ops += 1
+                a, b = left(env), right(env)
+                if a is None or b is None:
+                    same = (a is None) and (b is None)
+                else:
+                    same = a == b
+                return 1 if same == eq else 0
+            return cmp_eq
+        if op in ("<", ">", "<=", ">="):
+            import operator as _op
+            fn = {"<": _op.lt, ">": _op.gt, "<=": _op.le, ">=": _op.ge}[op]
+            def cmp(env):
+                ctx.counters.ops += 1
+                return 1 if fn(left(env), right(env)) else 0
+            return cmp
+
+        if op == "+":
+            def add(env):
+                ctx.counters.ops += 1
+                a, b = left(env), right(env)
+                if isinstance(a, Pointer):
+                    return a.offset_by(int(b))
+                if isinstance(b, Pointer):
+                    return b.offset_by(int(a))
+                return a + b
+            return add
+        if op == "-":
+            def sub(env):
+                ctx.counters.ops += 1
+                a, b = left(env), right(env)
+                if isinstance(a, Pointer):
+                    if isinstance(b, Pointer):
+                        return a.off - b.off
+                    return a.offset_by(-int(b))
+                return a - b
+            return sub
+        if op == "*":
+            def mul(env):
+                ctx.counters.ops += 1
+                return left(env) * right(env)
+            return mul
+        if op == "/":
+            def div(env):
+                ctx.counters.ops += 1
+                return c_div(left(env), right(env))
+            return div
+        if op == "%":
+            def mod(env):
+                ctx.counters.ops += 1
+                return c_mod(left(env), right(env))
+            return mod
+        if op in ("&", "|", "^", "<<", ">>"):
+            import operator as _op
+            fn = {"&": _op.and_, "|": _op.or_, "^": _op.xor,
+                  "<<": _op.lshift, ">>": _op.rshift}[op]
+            def bitop(env):
+                ctx.counters.ops += 1
+                return fn(int(left(env)), int(right(env)))
+            return bitop
+        raise InterpreterError(f"cannot compile binary op {op}")
+
+    # ------------------------------------------------------------------
+    def _compile_assign(self, e: ast.Assign) -> Callable:
+        ctx = self.ctx
+        op = e.op
+        target = e.target
+
+        # Allocation idiom: target = (T*)malloc(...) etc.
+        value_c = self._compile_value_for(target, e.value)
+
+        if isinstance(target, ast.Ident):
+            name = target.name
+            t = self.types.get(name)
+            is_global = t is None and name in self.runner.global_types
+            if is_global:
+                t = self.runner.global_types[name]
+            truncate = t is not None and t.is_integer
+            env_dict = self.runner.global_env if is_global else None
+
+            if op == "=":
+                def set_ident(env, _n=name, _g=env_dict, _tr=truncate):
+                    v = value_c(env)
+                    if _tr and isinstance(v, float):
+                        v = int(v)
+                    (_g if _g is not None else env)[_n] = v
+                    return v
+                return set_ident
+
+            base_op = op[:-1]
+            binop = self._binop_fn(base_op)
+
+            def upd_ident(env, _n=name, _g=env_dict, _tr=truncate):
+                ctx.counters.ops += 1
+                d = _g if _g is not None else env
+                old = d[_n]
+                v = value_c(env)
+                if isinstance(old, Pointer):
+                    new = old.offset_by(int(v) if base_op == "+" else -int(v))
+                else:
+                    new = binop(old, v)
+                if _tr and isinstance(new, float):
+                    new = int(new)
+                d[_n] = new
+                return new
+            return upd_ident
+
+        if isinstance(target, ast.Unary) and target.op == "*":
+            target = ast.Index(base=target.operand, index=ast.IntLit(0, "0"))
+        if isinstance(target, ast.Index):
+            store = self._compile_index_store(target)
+            if op == "=":
+                def set_elem(env):
+                    return store(env, value_c(env))
+                return set_elem
+            load = self._compile_index_load(target)
+            binop = self._binop_fn(op[:-1])
+
+            def upd_elem(env):
+                ctx.counters.ops += 1
+                return store(env, binop(load(env), value_c(env)))
+            return upd_elem
+
+        raise InterpreterError(
+            f"unsupported assignment target {type(target).__name__}"
+        )
+
+    @staticmethod
+    def _binop_fn(op: str) -> Callable:
+        import operator as _op
+        if op == "/":
+            return c_div
+        if op == "%":
+            return c_mod
+        if op in ("<<", ">>", "&", "|", "^"):
+            fn = {"<<": _op.lshift, ">>": _op.rshift, "&": _op.and_,
+                  "|": _op.or_, "^": _op.xor}[op]
+            return lambda a, b: fn(int(a), int(b))
+        return {"+": _op.add, "-": _op.sub, "*": _op.mul}[op]
+
+    # ------------------------------------------------------------------
+    def _compile_value_for(self, target: Optional[ast.Expr], value: ast.Expr) -> Callable:
+        """Compile an rvalue, handling the malloc-allocation idiom with the
+        element type taken from the assignment target when needed."""
+        alloc = self._try_compile_alloc(value, self.static_type(target) if target is not None else None)
+        if alloc is not None:
+            return alloc
+        return self.compile_expr(value)
+
+    def _try_compile_alloc(
+        self, value: ast.Expr, target_type: Optional[ty.Type]
+    ) -> Optional[Callable]:
+        """Recognize ``(T*)malloc(n)`` / ``malloc(n)`` / ``calloc(n, s)``."""
+        inner = value
+        cast_type: Optional[ty.Type] = None
+        if isinstance(inner, ast.Cast):
+            cast_type = inner.type
+            inner = inner.operand
+        if not isinstance(inner, ast.Call) or inner.callee not in ("malloc", "calloc"):
+            return None
+        elem = None
+        if cast_type is not None and cast_type.is_pointer:
+            elem = cast_type.pointee()
+        elif target_type is not None and target_type.is_pointer:
+            elem = target_type.pointee()
+        if elem is None or elem.is_pointer:
+            elem = ty.CHAR  # untyped allocation: byte-granular
+        runner = self.runner
+        if inner.callee == "malloc":
+            nbytes_c = self.compile_expr(inner.args[0])
+            def do_malloc(env):
+                return runner.host_alloc(int(nbytes_c(env)), elem)
+            return do_malloc
+        count_c = self.compile_expr(inner.args[0])
+        size_c = self.compile_expr(inner.args[1])
+        def do_calloc(env):
+            return runner.host_alloc(int(count_c(env)) * int(size_c(env)), elem)
+        return do_calloc
+
+    def _compile_cast(self, e: ast.Cast) -> Callable:
+        alloc = self._try_compile_alloc(e, None)
+        if alloc is not None:
+            return alloc
+        operand = self.compile_expr(e.operand)
+        t = e.type
+        if t.is_pointer:
+            return operand  # pointer reinterpretation: value passes through
+        if t.is_integer:
+            def to_int(env):
+                v = operand(env)
+                return int(v) if not isinstance(v, (Pointer, str)) else v
+            return to_int
+        if t.is_real:
+            def to_float(env):
+                return float(operand(env))
+            return to_float
+        return operand
+
+    # ------------------------------------------------------------------
+    def _compile_call(self, e: ast.Call) -> Callable:
+        name = e.callee
+        runner = self.runner
+        ctx = self.ctx
+        args_c = [self.compile_expr(a) for a in e.args]
+
+        # User-defined function?
+        if name in runner.program_functions:
+            fn_def = runner.program_functions[name]
+            param_names = [p.name for p in fn_def.params]
+            truncations = [p.type.is_integer for p in fn_def.params]
+
+            def user_call(env):
+                ctx.consume_steps()
+                callee = runner.compiled(name)
+                call_env = {}
+                for pname, trunc, ac in zip(param_names, truncations, args_c):
+                    v = ac(env)
+                    if trunc and isinstance(v, float):
+                        v = int(v)
+                    call_env[pname] = v
+                return callee(call_env)
+            return user_call
+
+        b = BUILTINS.get(name)
+        if b is None:
+            def missing(env, _n=name):
+                raise GuestRuntimeError(
+                    _SEGFAULT, detail=f"call to unknown function '{_n}'"
+                )
+            return missing
+
+        # Fast paths for pure math.
+        if b.py is not None:
+            py = b.py
+            count = 4 if b.min_args == 1 and name not in ("abs", "fabsf", "fabs") else 1
+            if len(args_c) == 1:
+                a0 = args_c[0]
+                def math1(env):
+                    ctx.counters.ops += count
+                    try:
+                        return py(a0(env))
+                    except (ValueError, OverflowError):
+                        return math.nan
+                return math1
+            if len(args_c) == 2:
+                a0, a1 = args_c
+                def math2(env):
+                    ctx.counters.ops += count
+                    try:
+                        return py(a0(env), a1(env))
+                    except (ValueError, OverflowError):
+                        return math.nan
+                return math2
+
+        # Everything else goes through the runner (I/O, memory, CUDA API).
+        elem_hint = self._call_elem_hint(e)
+
+        def runner_call(env):
+            return runner.call_builtin(name, [ac(env) for ac in args_c], elem_hint)
+        return runner_call
+
+    def _call_elem_hint(self, e: ast.Call) -> Optional[ty.Type]:
+        """Element type hint for cudaMalloc-style calls, from arg 0's type."""
+        if e.callee not in ("cudaMalloc",):
+            return None
+        arg = e.args[0]
+        if isinstance(arg, ast.Cast):
+            arg = arg.operand
+        if isinstance(arg, ast.Unary) and arg.op == "&":
+            t = self.static_type(arg.operand)
+            if t is not None and t.is_pointer:
+                return t.pointee()
+        return None
+
+    def _compile_launch(self, e: ast.Launch) -> Callable:
+        runner = self.runner
+        grid_c = self.compile_expr(e.grid)
+        block_c = self.compile_expr(e.block)
+        args_c = [self.compile_expr(a) for a in e.args]
+        name = e.kernel
+
+        def do_launch(env):
+            runner.launch(
+                name,
+                int(grid_c(env)),
+                int(block_c(env)),
+                [ac(env) for ac in args_c],
+            )
+            return None
+        return do_launch
+
+    # ==================================================================
+    # Statements (fast mode)
+    # ==================================================================
+    def compile_stmt(self, s: ast.Stmt) -> Callable:
+        ctx = self.ctx
+
+        if isinstance(s, ast.Block):
+            stmts = [self.compile_stmt(x) for x in s.stmts]
+            if not stmts:
+                return lambda env: None
+            if len(stmts) == 1:
+                return stmts[0]
+
+            def block(env):
+                for st in stmts:
+                    sig = st(env)
+                    if sig is not None:
+                        return sig
+                return None
+            return block
+
+        if isinstance(s, ast.VarDecl):
+            return self._compile_vardecl(s)
+
+        if isinstance(s, ast.ExprStmt):
+            expr = self.compile_expr(s.expr)
+
+            def expr_stmt(env):
+                expr(env)
+                return None
+            return expr_stmt
+
+        if isinstance(s, ast.If):
+            cond = self.compile_expr(s.cond)
+            then = self.compile_stmt(s.then)
+            other = self.compile_stmt(s.other) if s.other is not None else None
+
+            if other is None:
+                def if_stmt(env):
+                    if truthy(cond(env)):
+                        return then(env)
+                    return None
+                return if_stmt
+
+            def if_else(env):
+                if truthy(cond(env)):
+                    return then(env)
+                return other(env)
+            return if_else
+
+        if isinstance(s, ast.For):
+            init = self.compile_stmt(s.init) if s.init is not None else None
+            cond = self.compile_expr(s.cond) if s.cond is not None else None
+            step = self.compile_expr(s.step) if s.step is not None else None
+            body = self.compile_stmt(s.body)
+
+            def for_stmt(env):
+                if init is not None:
+                    init(env)
+                while cond is None or truthy(cond(env)):
+                    ctx.steps_left -= 1
+                    if ctx.steps_left < 0:
+                        ctx.consume_steps(0)
+                    sig = body(env)
+                    if sig is not None:
+                        if sig is BREAK:
+                            return None
+                        if sig is not CONTINUE:
+                            return sig
+                    if step is not None:
+                        step(env)
+                return None
+            return for_stmt
+
+        if isinstance(s, ast.While):
+            cond = self.compile_expr(s.cond)
+            body = self.compile_stmt(s.body)
+
+            def while_stmt(env):
+                while truthy(cond(env)):
+                    ctx.steps_left -= 1
+                    if ctx.steps_left < 0:
+                        ctx.consume_steps(0)
+                    sig = body(env)
+                    if sig is not None:
+                        if sig is BREAK:
+                            return None
+                        if sig is not CONTINUE:
+                            return sig
+                return None
+            return while_stmt
+
+        if isinstance(s, ast.DoWhile):
+            cond = self.compile_expr(s.cond)
+            body = self.compile_stmt(s.body)
+
+            def do_while(env):
+                while True:
+                    ctx.steps_left -= 1
+                    if ctx.steps_left < 0:
+                        ctx.consume_steps(0)
+                    sig = body(env)
+                    if sig is not None:
+                        if sig is BREAK:
+                            return None
+                        if sig is not CONTINUE:
+                            return sig
+                    if not truthy(cond(env)):
+                        return None
+            return do_while
+
+        if isinstance(s, ast.Return):
+            if s.value is None:
+                return lambda env: (RETURN, None)
+            value = self.compile_expr(s.value)
+            trunc = self.fn.return_type.is_integer
+
+            def ret(env):
+                v = value(env)
+                if trunc and isinstance(v, float):
+                    v = int(v)
+                return (RETURN, v)
+            return ret
+
+        if isinstance(s, ast.Break):
+            return lambda env: BREAK
+        if isinstance(s, ast.Continue):
+            return lambda env: CONTINUE
+
+        if isinstance(s, ast.Pragma):
+            return self.runner.compile_pragma(self, s)
+
+        if isinstance(s, ast.SyncThreads):
+            # Barrier in a non-barrier-mode compile: only reachable if a
+            # device function contains one (unsupported subset).
+            def bad_barrier(env):
+                raise GuestRuntimeError(
+                    "CUDA error: unspecified launch failure",
+                    detail="__syncthreads() outside a kernel body",
+                )
+            return bad_barrier
+
+        raise InterpreterError(f"cannot compile statement {type(s).__name__}")
+
+    def _compile_vardecl(self, s: ast.VarDecl) -> Callable:
+        name = s.name
+        if s.shared:
+            # Shared declarations are hoisted by the launcher; the statement
+            # itself is a no-op (the name is pre-bound in the thread env).
+            return lambda env: None
+        if s.array_size is not None:
+            size_c = self.compile_expr(s.array_size)
+            elem = s.type
+            runner = self.runner
+            ctx = self.ctx
+
+            def decl_array(env):
+                n = int(size_c(env))
+                # Local arrays live in whichever space the declaring code is
+                # executing in (a kernel-local array is device memory; the
+                # same declaration in an OpenMP target loop body is
+                # device-private too).
+                ptr = runner.stack_alloc(n, elem, ctx.space, label=name)
+                env[name] = ptr
+                return None
+            return decl_array
+
+        if s.init is not None:
+            value_target = ast.Ident(name=name)
+            value_target.span = s.span
+            init_c = self._compile_value_for(value_target, s.init)
+            trunc = s.type.is_integer and not s.type.is_pointer
+
+            def decl_init(env):
+                v = init_c(env)
+                if trunc and isinstance(v, float):
+                    v = int(v)
+                env[name] = v
+                return None
+            return decl_init
+
+        default = 0.0 if s.type.is_real else (None if s.type.is_pointer else 0)
+
+        def decl_default(env):
+            env[name] = default
+            return None
+        return decl_default
+
+    # ==================================================================
+    # Statements (generator mode, for kernels with __syncthreads)
+    # ==================================================================
+    def compile_stmt_gen(self, s: ast.Stmt) -> Callable:
+        ctx = self.ctx
+
+        if isinstance(s, ast.SyncThreads):
+            def barrier_gen(env):
+                yield BARRIER
+                return None
+            return barrier_gen
+
+        if isinstance(s, ast.Block):
+            stmts = [self.compile_stmt_gen(x) for x in s.stmts]
+
+            def block_gen(env):
+                for st in stmts:
+                    sig = yield from st(env)
+                    if sig is not None:
+                        return sig
+                return None
+            return block_gen
+
+        if isinstance(s, ast.If):
+            cond = self.compile_expr(s.cond)
+            then = self.compile_stmt_gen(s.then)
+            other = self.compile_stmt_gen(s.other) if s.other is not None else None
+
+            def if_gen(env):
+                if truthy(cond(env)):
+                    return (yield from then(env))
+                if other is not None:
+                    return (yield from other(env))
+                return None
+            return if_gen
+
+        if isinstance(s, ast.For):
+            init = self.compile_stmt(s.init) if s.init is not None else None
+            cond = self.compile_expr(s.cond) if s.cond is not None else None
+            step = self.compile_expr(s.step) if s.step is not None else None
+            body = self.compile_stmt_gen(s.body)
+
+            def for_gen(env):
+                if init is not None:
+                    init(env)
+                while cond is None or truthy(cond(env)):
+                    ctx.consume_steps()
+                    sig = yield from body(env)
+                    if sig is not None:
+                        if sig is BREAK:
+                            return None
+                        if sig is not CONTINUE:
+                            return sig
+                    if step is not None:
+                        step(env)
+                return None
+            return for_gen
+
+        if isinstance(s, ast.While):
+            cond = self.compile_expr(s.cond)
+            body = self.compile_stmt_gen(s.body)
+
+            def while_gen(env):
+                while truthy(cond(env)):
+                    ctx.consume_steps()
+                    sig = yield from body(env)
+                    if sig is not None:
+                        if sig is BREAK:
+                            return None
+                        if sig is not CONTINUE:
+                            return sig
+                return None
+            return while_gen
+
+        if isinstance(s, ast.DoWhile):
+            cond = self.compile_expr(s.cond)
+            body = self.compile_stmt_gen(s.body)
+
+            def dowhile_gen(env):
+                while True:
+                    ctx.consume_steps()
+                    sig = yield from body(env)
+                    if sig is not None:
+                        if sig is BREAK:
+                            return None
+                        if sig is not CONTINUE:
+                            return sig
+                    if not truthy(cond(env)):
+                        return None
+            return dowhile_gen
+
+        # Statements with no barriers inside: reuse the fast compiler.
+        plain = self.compile_stmt(s)
+
+        def plain_gen(env):
+            return plain(env)
+            yield  # pragma: no cover - makes this a generator function
+        return plain_gen

@@ -1,0 +1,111 @@
+"""Runtime value helpers: C-style arithmetic and printf formatting."""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from repro.errors import GuestRuntimeError
+
+
+def c_div(a, b):
+    """C division: trunc-toward-zero for ints, IEEE semantics for floats."""
+    if isinstance(a, float) or isinstance(b, float):
+        fb = float(b)
+        if fb == 0.0:
+            fa = float(a)
+            if fa == 0.0:
+                return math.nan
+            return math.inf if fa > 0 else -math.inf
+        return float(a) / fb
+    if b == 0:
+        raise GuestRuntimeError("Floating point exception (core dumped)",
+                                detail="integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_mod(a, b):
+    """C modulo: result takes the sign of the dividend."""
+    if isinstance(a, float) or isinstance(b, float):
+        if float(b) == 0.0:
+            return math.nan
+        return math.fmod(float(a), float(b))
+    if b == 0:
+        raise GuestRuntimeError("Floating point exception (core dumped)",
+                                detail="integer modulo by zero")
+    r = abs(a) % abs(b)
+    return r if a >= 0 else -r
+
+
+def truthy(v) -> bool:
+    if v is None:  # NULL pointer
+        return False
+    return bool(v)
+
+
+_FMT_RE = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?(?:hh|h|ll|l|z)?[diufFeEgGxXoscp%]")
+
+
+def c_printf(fmt: str, args: List) -> str:
+    """Format ``fmt`` with ``args`` using C printf semantics (common subset).
+
+    Raises :class:`GuestRuntimeError` when a conversion consumes a missing
+    argument (real printf would read garbage; we fail loudly and
+    deterministically, which shows up as an execution error).
+    """
+    out: List[str] = []
+    pos = 0
+    argi = 0
+    for m in _FMT_RE.finditer(fmt):
+        out.append(fmt[pos:m.start()])
+        pos = m.end()
+        spec = m.group(0)
+        conv = spec[-1]
+        if conv == "%":
+            out.append("%")
+            continue
+        if argi >= len(args):
+            raise GuestRuntimeError(
+                "Segmentation fault (core dumped)",
+                detail=f"printf: missing argument for conversion '{spec}'",
+            )
+        value = args[argi]
+        argi += 1
+        # Strip length modifiers; Python handles width/precision natively.
+        body = spec[1:-1]
+        for lm in ("hh", "ll", "h", "l", "z"):
+            if body.endswith(lm):
+                body = body[: -len(lm)]
+                break
+        try:
+            if conv in "di":
+                out.append(("%" + body + "d") % int(value))
+            elif conv == "u":
+                iv = int(value)
+                out.append(("%" + body + "d") % (iv & 0xFFFFFFFF if iv < 0 else iv))
+            elif conv in "fFeEgG":
+                out.append(("%" + body + conv) % float(value))
+            elif conv in "xXo":
+                iv = int(value)
+                out.append(("%" + body + conv) % (iv & 0xFFFFFFFF if iv < 0 else iv))
+            elif conv == "s":
+                from repro.interp.memory import Pointer
+
+                if isinstance(value, Pointer):
+                    value = value.read_string()
+                out.append(("%" + body + "s") % (value,))
+            elif conv == "c":
+                if isinstance(value, int):
+                    value = chr(value & 0xFF)
+                out.append(("%" + body + "s") % (value,))
+            elif conv == "p":
+                out.append(hex(id(value) & 0xFFFFFFFFFFFF))
+        except (TypeError, ValueError) as exc:
+            raise GuestRuntimeError(
+                "Segmentation fault (core dumped)",
+                detail=f"printf: bad argument for conversion '{spec}': {exc}",
+            ) from exc
+    out.append(fmt[pos:])
+    return "".join(out)

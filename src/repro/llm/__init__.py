@@ -1,0 +1,40 @@
+"""LLM layer: clients, registry, transpiler, fault model, simulated models.
+
+The LASSI pipeline is LLM-agnostic (§III of the paper): it talks to any
+backend through the :class:`~repro.llm.base.LLMClient` protocol.  This
+package provides
+
+* the four-model registry of Table V,
+* real-backend adapters (Ollama-style local REST, OpenAI-style chat API)
+  with injectable transports,
+* and :class:`~repro.llm.simulated.SimulatedLLM`, the offline stand-in: a
+  rule-based CUDA<->OpenMP transpiler wrapped in a seeded fault-injection /
+  repair engine whose per-model behaviour profiles are calibrated against
+  the paper's Tables VI and VII.
+"""
+
+from repro.llm.base import ChatMessage, GenerationResult, LLMClient
+from repro.llm.registry import LLMSpec, all_models, get_model
+from repro.llm.transpiler import TranspileOptions, Transpiler
+
+__all__ = [
+    "ChatMessage",
+    "GenerationResult",
+    "LLMClient",
+    "LLMSpec",
+    "all_models",
+    "get_model",
+    "SimulatedLLM",
+    "TranspileOptions",
+    "Transpiler",
+]
+
+
+def __getattr__(name: str):
+    # SimulatedLLM pulls in the profile tables; import lazily to keep the
+    # base package import light.
+    if name == "SimulatedLLM":
+        from repro.llm.simulated import SimulatedLLM
+
+        return SimulatedLLM
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,117 @@
+"""Live-backend adapters: Ollama-style local REST and OpenAI-style chat API.
+
+The paper hosts Codestral / Wizard Coder / DeepSeek Coder through a local
+Ollama deployment and reaches GPT-4 through a private API instance (§V).
+These adapters speak those wire formats through an injectable ``transport``
+callable (``transport(url, payload_dict) -> response_dict``), so they are
+fully testable offline and swappable for ``urllib``-based transports in a
+networked deployment.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import TransportError
+from repro.llm.base import ChatMessage, GenerationResult, LLMClient
+
+Transport = Callable[[str, Dict], Dict]
+
+
+def urllib_transport(url: str, payload: Dict) -> Dict:  # pragma: no cover
+    """Default transport for networked deployments (unused offline)."""
+    import urllib.request
+
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=600) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except Exception as exc:  # noqa: BLE001 - network edge
+        raise TransportError(f"request to {url} failed: {exc}") from exc
+
+
+class OllamaClient(LLMClient):
+    """Client for an Ollama ``/api/chat`` endpoint."""
+
+    def __init__(
+        self,
+        model: str,
+        context_length: int,
+        base_url: str = "http://localhost:11434",
+        transport: Optional[Transport] = None,
+        temperature: float = 0.0,
+    ) -> None:
+        self.name = model
+        self.context_length = context_length
+        self.base_url = base_url.rstrip("/")
+        self.transport = transport or urllib_transport
+        self.temperature = temperature
+
+    def chat(self, messages: List[ChatMessage]) -> GenerationResult:
+        payload = {
+            "model": self.name,
+            "messages": [{"role": m.role, "content": m.content} for m in messages],
+            "stream": False,
+            "options": {"temperature": self.temperature},
+        }
+        data = self.transport(f"{self.base_url}/api/chat", payload)
+        try:
+            text = data["message"]["content"]
+        except (KeyError, TypeError) as exc:
+            raise TransportError(
+                f"malformed Ollama response: {data!r}"
+            ) from exc
+        return GenerationResult(
+            text=text,
+            model=self.name,
+            prompt_tokens=int(data.get("prompt_eval_count", 0) or 0),
+            completion_tokens=int(data.get("eval_count", 0) or 0),
+        )
+
+
+class OpenAIChatClient(LLMClient):
+    """Client for an OpenAI-compatible ``/v1/chat/completions`` endpoint."""
+
+    def __init__(
+        self,
+        model: str,
+        context_length: int,
+        base_url: str = "https://api.openai.com",
+        api_key: str = "",
+        transport: Optional[Transport] = None,
+        temperature: float = 0.0,
+    ) -> None:
+        self.name = model
+        self.context_length = context_length
+        self.base_url = base_url.rstrip("/")
+        self.api_key = api_key
+        self.transport = transport or urllib_transport
+        self.temperature = temperature
+
+    def chat(self, messages: List[ChatMessage]) -> GenerationResult:
+        payload = {
+            "model": self.name,
+            "messages": [{"role": m.role, "content": m.content} for m in messages],
+            "temperature": self.temperature,
+        }
+        data = self.transport(
+            f"{self.base_url}/v1/chat/completions", payload
+        )
+        try:
+            text = data["choices"][0]["message"]["content"]
+        except (KeyError, IndexError, TypeError) as exc:
+            raise TransportError(
+                f"malformed chat-completions response: {data!r}"
+            ) from exc
+        usage = data.get("usage", {}) or {}
+        return GenerationResult(
+            text=text,
+            model=self.name,
+            prompt_tokens=int(usage.get("prompt_tokens", 0) or 0),
+            completion_tokens=int(usage.get("completion_tokens", 0) or 0),
+        )

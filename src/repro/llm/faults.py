@@ -1,0 +1,374 @@
+"""Catalogue of injectable translation defects.
+
+Each :class:`Fault` is a source-text transformation paired with the
+diagnostic it provokes.  The simulated LLM injects faults into otherwise
+correct transpiler output to reproduce the paper's observed behaviour
+classes, and its *repair* logic matches the stderr in a correction prompt
+against the fault's ``error_signature`` — exactly the loop dynamics LASSI's
+§III-D self-correction exercises.
+
+Fault stages:
+
+* ``compile`` — rejected by the compiler driver; drives the §III-D1 loop.
+* ``runtime`` — compiles but faults at run time; drives the §III-D2 loop.
+* ``output``  — compiles and runs but prints wrong results; invisible to
+  both loops (the paper marks such scenarios N/A after output comparison).
+* ``perf``    — correct output, degraded (or improved) performance; never
+  corrected, surfaces in the runtime Ratio (§V-D anecdotes).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.minilang.source import Dialect
+
+
+@dataclass(frozen=True)
+class Fault:
+    fault_id: str
+    stage: str  # compile | runtime | output | perf
+    dialect: Optional[Dialect]  # which *target* dialect it applies to; None = both
+    description: str
+    #: Substrings expected in the resulting stderr; used by the simulated
+    #: LLM to decide whether a correction prompt addresses this fault.
+    error_signature: Tuple[str, ...]
+    #: source -> transformed source, or None when the pattern is absent.
+    apply: Callable[[str], Optional[str]]
+
+    def applicable(self, source: str) -> bool:
+        return self.apply(source) is not None
+
+
+def _sub_once(pattern: str, repl, text: str, flags: int = 0) -> Optional[str]:
+    out, n = re.subn(pattern, repl, text, count=1, flags=flags)
+    return out if n else None
+
+
+# ---------------------------------------------------------------------------
+# Compile-stage faults
+# ---------------------------------------------------------------------------
+
+def _undeclared_index_cuda(src: str) -> Optional[str]:
+    # Rename the declaration of the kernel's thread-index variable, leaving
+    # its uses dangling.
+    return _sub_once(
+        r"\bint (\w+) = blockIdx\.x \* blockDim\.x \+ threadIdx\.x;",
+        lambda m: f"int {m.group(1)}_t = blockIdx.x * blockDim.x + threadIdx.x;",
+        src,
+    )
+
+
+def _undeclared_index_omp(src: str) -> Optional[str]:
+    # Rename the declaration in the first offloaded canonical loop header.
+    m = re.search(
+        r"(#pragma omp target[^\n]*\n\s*for \(int )(\w+)( = )", src
+    )
+    if m is None:
+        return None
+    return src[: m.start(2)] + m.group(2) + "_t" + src[m.end(2):]
+
+
+def _missing_semicolon(src: str) -> Optional[str]:
+    return _sub_once(
+        r"(cudaMalloc\([^;]*\));", r"\1", src
+    ) or _sub_once(
+        r"^(\s*int \w+ = [^;\n]*);$", r"\1", src, flags=re.MULTILINE
+    ) or _sub_once(
+        r"^(\s*\w+ = [^;\n]*\))\s*;$", r"\1", src, flags=re.MULTILINE
+    )
+
+
+def _cuda_api_left_in_omp(src: str) -> Optional[str]:
+    if "cudaDeviceSynchronize" in src:
+        return None
+    return _sub_once(
+        r"^(\s*)return 0;", r"\1cudaDeviceSynchronize();\n\1return 0;", src,
+        flags=re.MULTILINE,
+    )
+
+
+def _atomic_left_in_omp(src: str) -> Optional[str]:
+    return _sub_once(
+        r"#pragma omp atomic\n(\s*)(\w+)\[([^\]]+)\] \+= ([^;]+);",
+        r"\1atomicAdd(&\2[\3], \4);",
+        src,
+    )
+
+
+def _kernel_called_directly(src: str) -> Optional[str]:
+    return _sub_once(r"(\w+)<<<[^>]*>>>\(", r"\1(", src)
+
+
+def _missing_launch_arg(src: str) -> Optional[str]:
+    m = re.search(r"(\w+<<<[^>]*>>>)\(([^;]*)\);", src)
+    if m is None:
+        return None
+    args = m.group(2)
+    if "," not in args:
+        return None
+    trimmed = args.rsplit(",", 1)[0]
+    return src[: m.start()] + f"{m.group(1)}({trimmed});" + src[m.end():]
+
+
+def _bad_directive_spelling(src: str) -> Optional[str]:
+    return _sub_once(
+        r"#pragma omp target teams distribute parallel for",
+        "#pragma omp targets teams distribute parallel for",
+        src,
+    )
+
+
+def _missing_device_decl(src: str) -> Optional[str]:
+    for m in re.finditer(
+        r"^\s*(?:float|double|int|long)\*\s*(\w+);\s*$", src, re.MULTILINE
+    ):
+        if f"cudaMalloc(&{m.group(1)}" in src:
+            return src[: m.start()] + src[m.end():].lstrip("\n")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Runtime-stage faults
+# ---------------------------------------------------------------------------
+
+def _oob_guard_cuda(src: str) -> Optional[str]:
+    # Only within a kernel body: look for the canonical guard right after the
+    # thread-index computation.
+    m = re.search(
+        r"(= blockIdx\.x \* blockDim\.x \+ threadIdx\.x;\s*\n\s*if \(\w+) (<) ",
+        src,
+    )
+    if m is None:
+        return None
+    return src[: m.start(2)] + "<=" + src[m.end(2):]
+
+
+def _oob_guard_omp(src: str) -> Optional[str]:
+    m = re.search(
+        r"(#pragma omp target[^\n]*\n\s*for \(int \w+ = 0; \w+) (<) ", src
+    )
+    if m is None:
+        return None
+    return src[: m.start(2)] + "<=" + src[m.end(2):]
+
+
+def _missing_cudamalloc(src: str) -> Optional[str]:
+    return _sub_once(r"^\s*cudaMalloc\([^;]*\);\s*\n", "", src, flags=re.MULTILINE)
+
+
+def _hanging_search_loop(src: str) -> Optional[str]:
+    return _sub_once(r"while \((\w+) < (\w+)\)", r"while (\1 <= \2)", src)
+
+
+# ---------------------------------------------------------------------------
+# Output-stage faults (silent wrong answers => N/A after verification)
+# ---------------------------------------------------------------------------
+
+def _missing_copyback_cuda(src: str) -> Optional[str]:
+    # Remove a device-to-host copy whose destination is actually consumed
+    # afterwards (dropping a dead copy would not change the output).
+    matches = list(re.finditer(
+        r"^\s*cudaMemcpy\((\w+)[^;]*cudaMemcpyDeviceToHost\);\s*\n",
+        src, re.MULTILINE,
+    ))
+    for m in reversed(matches):
+        dst = m.group(1)
+        tail = src[m.end():]
+        uses = [
+            mm for mm in re.finditer(rf"\b{re.escape(dst)}\b", tail)
+            if not re.search(
+                r"(?:cudaFree|free)\($",
+                tail[max(0, mm.start() - 12):mm.start()],
+            )
+        ]
+        if uses:
+            return src[: m.start()] + src[m.end():]
+    if matches:
+        m = matches[-1]
+        return src[: m.start()] + src[m.end():]
+    return None
+
+
+def _missing_copyback_omp(src: str) -> Optional[str]:
+    return _sub_once(r"map\(from:", "map(to:", src) or _sub_once(
+        r"map\(tofrom:", "map(to:", src
+    )
+
+
+def _flipped_operator(src: str) -> Optional[str]:
+    # Flip the first '+' in a subscripted arithmetic assignment (kernel-ish
+    # code), producing plausible but wrong numerics.
+    m = re.search(r"\[\w+\] = [^;=<>]*\w\[[^;]*\] (\+) [^;]*;", src)
+    if m is None:
+        return None
+    return src[: m.start(1)] + "-" + src[m.end(1):]
+
+
+# ---------------------------------------------------------------------------
+# Performance-stage faults
+# ---------------------------------------------------------------------------
+
+def _weak_parallelism_omp(src: str) -> Optional[str]:
+    """Drop the teams/distribute parallelism down to a handful of threads.
+
+    Reproduces the paper's §V-D Codestral/bsearch anecdote: the translated
+    code "only implements the default single thread" where the original set
+    256 — observed as a ~20x slowdown.
+    """
+    m = re.search(r"#pragma omp target teams distribute parallel for([^\n]*)", src)
+    if m is None:
+        return None
+    clauses = m.group(1)
+    clauses = re.sub(r" num_threads\(\d+\)", "", clauses)
+    return (
+        src[: m.start()]
+        + "#pragma omp target parallel for" + clauses + " num_threads(1)"
+        + src[m.end():]
+    )
+
+
+def _tiny_block_cuda(src: str) -> Optional[str]:
+    """Launch with 1-thread blocks: same coverage, 1/32 warp utilization."""
+    return _sub_once(
+        r"<<<(.+?), (\d+)>>>",
+        lambda m: f"<<<({m.group(1)}) * {m.group(2)}, 1>>>",
+        src,
+    )
+
+
+FAULTS: Dict[str, Fault] = {
+    f.fault_id: f
+    for f in [
+        Fault(
+            "undeclared-index-cuda", "compile", Dialect.CUDA,
+            "thread-index variable renamed at declaration only",
+            ("use of undeclared identifier",),
+            _undeclared_index_cuda,
+        ),
+        Fault(
+            "undeclared-index-omp", "compile", Dialect.OMP,
+            "loop variable renamed at declaration only",
+            ("use of undeclared identifier",),
+            _undeclared_index_omp,
+        ),
+        Fault(
+            "missing-semicolon", "compile", None,
+            "dropped statement terminator",
+            ("expected ';'",),
+            _missing_semicolon,
+        ),
+        Fault(
+            "cuda-api-in-omp", "compile", Dialect.OMP,
+            "left a cudaDeviceSynchronize() call in OpenMP output",
+            ("use of undeclared identifier 'cudaDeviceSynchronize'",),
+            _cuda_api_left_in_omp,
+        ),
+        Fault(
+            "atomic-left-in-omp", "compile", Dialect.OMP,
+            "kept a CUDA atomicAdd instead of '#pragma omp atomic'",
+            ("use of undeclared identifier 'atomicAdd'",),
+            _atomic_left_in_omp,
+        ),
+        Fault(
+            "kernel-called-directly", "compile", Dialect.CUDA,
+            "called a __global__ function without launch configuration",
+            ("must be configured",),
+            _kernel_called_directly,
+        ),
+        Fault(
+            "missing-launch-arg", "compile", Dialect.CUDA,
+            "dropped the last kernel-launch argument",
+            ("arguments to kernel launch", "too few"),
+            _missing_launch_arg,
+        ),
+        Fault(
+            "bad-directive-spelling", "compile", Dialect.OMP,
+            "misspelled the offload directive",
+            ("unknown OpenMP directive",),
+            _bad_directive_spelling,
+        ),
+        Fault(
+            "missing-device-decl", "compile", Dialect.CUDA,
+            "removed a device pointer declaration",
+            ("use of undeclared identifier",),
+            _missing_device_decl,
+        ),
+        Fault(
+            "oob-guard-cuda", "runtime", Dialect.CUDA,
+            "off-by-one in the kernel bounds guard",
+            ("illegal memory access",),
+            _oob_guard_cuda,
+        ),
+        Fault(
+            "oob-guard-omp", "runtime", Dialect.OMP,
+            "off-by-one in the offloaded loop bound",
+            ("illegal memory access",),
+            _oob_guard_omp,
+        ),
+        Fault(
+            "missing-cudamalloc", "runtime", Dialect.CUDA,
+            "removed a cudaMalloc, leaving a NULL device pointer",
+            ("Segmentation fault", "illegal memory access", "NULL"),
+            _missing_cudamalloc,
+        ),
+        Fault(
+            "hanging-search-loop", "runtime", None,
+            "off-by-one loop condition that never terminates",
+            ("timed out",),
+            _hanging_search_loop,
+        ),
+        Fault(
+            "missing-copyback-cuda", "output", Dialect.CUDA,
+            "results never copied back to the host",
+            (),
+            _missing_copyback_cuda,
+        ),
+        Fault(
+            "missing-copyback-omp", "output", Dialect.OMP,
+            "map kind loses device writes",
+            (),
+            _missing_copyback_omp,
+        ),
+        Fault(
+            "flipped-operator", "output", None,
+            "arithmetic operator flipped in the hot loop",
+            (),
+            _flipped_operator,
+        ),
+        Fault(
+            "weak-parallelism-omp", "perf", Dialect.OMP,
+            "dropped the thread configuration: near-serial device loop",
+            (),
+            _weak_parallelism_omp,
+        ),
+        Fault(
+            "tiny-block-cuda", "perf", Dialect.CUDA,
+            "degenerate 1x1 launch configuration",
+            (),
+            _tiny_block_cuda,
+        ),
+    ]
+}
+
+
+def faults_for(dialect: Dialect, stage: Optional[str] = None) -> List[Fault]:
+    """All faults applicable to code in ``dialect`` (optionally by stage)."""
+    out = []
+    for fault in FAULTS.values():
+        if fault.dialect is not None and fault.dialect is not dialect:
+            continue
+        if stage is not None and fault.stage != stage:
+            continue
+        out.append(fault)
+    return out
+
+
+def get_fault(fault_id: str) -> Fault:
+    try:
+        return FAULTS[fault_id]
+    except KeyError:
+        known = ", ".join(sorted(FAULTS))
+        raise KeyError(f"unknown fault {fault_id!r}; known: {known}") from None

@@ -1,0 +1,94 @@
+"""The four-LLM registry of the paper's Table V."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import UnknownModelError
+
+
+@dataclass(frozen=True)
+class LLMSpec:
+    """One row of Table V."""
+
+    name: str
+    #: Human-readable parameter count, exactly as the paper prints it.
+    parameters: str
+    #: Model download size in GB; None for API-only access.
+    size_gb: Optional[float]
+    #: Quantization, as printed ("8-bit", "F16", "N/A").
+    quantization: str
+    #: Context window (tokens).
+    context_length: int
+    #: How the paper hosted it ("api" for GPT-4, "ollama" otherwise).
+    hosting: str
+    #: Short key used in table headers and scenario plans.
+    key: str
+
+
+_MODELS: List[LLMSpec] = [
+    LLMSpec(
+        name="GPT-4",
+        parameters="1.76 T",
+        size_gb=None,
+        quantization="N/A",
+        context_length=32768,
+        hosting="api",
+        key="gpt4",
+    ),
+    LLMSpec(
+        name="Codestral",
+        parameters="22B",
+        size_gb=24.0,
+        quantization="8-bit",
+        context_length=32768,
+        hosting="ollama",
+        key="codestral",
+    ),
+    LLMSpec(
+        name="Wizard Coder",
+        parameters="33B",
+        size_gb=35.0,
+        quantization="8-bit",
+        context_length=16384,
+        hosting="ollama",
+        key="wizardcoder",
+    ),
+    LLMSpec(
+        name="DeepSeek Coder v2",
+        parameters="16B",
+        size_gb=31.0,
+        quantization="F16",
+        context_length=163840,
+        hosting="ollama",
+        key="deepseek",
+    ),
+]
+
+_BY_KEY: Dict[str, LLMSpec] = {m.key: m for m in _MODELS}
+_BY_NAME: Dict[str, LLMSpec] = {m.name: m for m in _MODELS}
+
+
+def all_models() -> List[LLMSpec]:
+    """Table V rows, in paper order."""
+    return list(_MODELS)
+
+
+def model_keys() -> List[str]:
+    return [m.key for m in _MODELS]
+
+
+def get_model(key_or_name: str) -> LLMSpec:
+    spec = _BY_KEY.get(key_or_name) or _BY_NAME.get(key_or_name)
+    if spec is None:
+        known = ", ".join(sorted(_BY_KEY))
+        raise UnknownModelError(
+            f"unknown model {key_or_name!r}; known keys: {known}"
+        )
+    return spec
+
+
+#: The paper's lower-bound context window (Wizard Coder) constrains how much
+#: language knowledge LASSI packs into prompts (§III-B).
+MIN_CONTEXT_LENGTH = min(m.context_length for m in _MODELS)

@@ -1,0 +1,14 @@
+"""Evaluation metrics (§V-A of the paper)."""
+
+from repro.metrics.similarity import sim_l, sim_t
+from repro.metrics.runtime import runtime_ratio, within_10pct_or_faster
+from repro.metrics.aggregate import AggregateStats, aggregate
+
+__all__ = [
+    "sim_t",
+    "sim_l",
+    "runtime_ratio",
+    "within_10pct_or_faster",
+    "AggregateStats",
+    "aggregate",
+]

@@ -1,0 +1,24 @@
+"""Runtime metrics: the Ratio column and the "within 10% or faster" test."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def runtime_ratio(reference_seconds: float, generated_seconds: float) -> Optional[float]:
+    """The paper's Ratio: reference runtime (human-written code in the target
+    language) divided by the LASSI-generated code's runtime.  > 1 means the
+    generated code is faster."""
+    if generated_seconds <= 0:
+        return None
+    return reference_seconds / generated_seconds
+
+
+def within_10pct_or_faster(ratio: Optional[float]) -> bool:
+    """§V-B/C: "within 10% of or at a faster runtime than the original".
+
+    Ratio = t_ref / t_gen, so t_gen <= 1.1 * t_ref  <=>  ratio >= 1/1.1.
+    """
+    if ratio is None:
+        return False
+    return ratio >= (1.0 / 1.1)

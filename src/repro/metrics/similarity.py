@@ -1,0 +1,53 @@
+"""Code-similarity metrics Sim-T and Sim-L (§V-A of the paper).
+
+* **Sim-T** — token-based: both codes are lexically tokenized and compared
+  with the Ratcliff-Obershelp longest-contiguous-matching-subsequence
+  algorithm; the ratio lies in [0, 1] and the paper treats >= 0.6 as "high
+  similarity".
+* **Sim-L** — line-based: the number of identical (whitespace-normalized)
+  lines, counted order-insensitively as a multiset intersection, divided by
+  the line count of the longer code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from difflib import SequenceMatcher
+from typing import List
+
+from repro.utils.text import strip_comments
+from repro.utils.tokens import tokenize_code
+
+#: The paper's heuristic threshold for "reasonable similarity".
+HIGH_SIMILARITY_THRESHOLD = 0.6
+
+
+def _normalized_lines(code: str) -> List[str]:
+    out = []
+    for line in strip_comments(code).splitlines():
+        norm = " ".join(line.split())
+        if norm:
+            out.append(norm)
+    return out
+
+
+def sim_t(code_a: str, code_b: str) -> float:
+    """Token-based Ratcliff-Obershelp similarity in [0, 1]."""
+    tokens_a = tokenize_code(strip_comments(code_a))
+    tokens_b = tokenize_code(strip_comments(code_b))
+    if not tokens_a and not tokens_b:
+        return 1.0
+    matcher = SequenceMatcher(a=tokens_a, b=tokens_b, autojunk=False)
+    return matcher.ratio()
+
+
+def sim_l(code_a: str, code_b: str) -> float:
+    """Line-based similarity: identical lines regardless of order, over the
+    line count of the longer code."""
+    lines_a = _normalized_lines(code_a)
+    lines_b = _normalized_lines(code_b)
+    longer = max(len(lines_a), len(lines_b))
+    if longer == 0:
+        return 1.0
+    common = Counter(lines_a) & Counter(lines_b)
+    return sum(common.values()) / longer

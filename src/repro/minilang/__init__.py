@@ -1,0 +1,47 @@
+"""MiniC front-end: the C-like mini-language underlying MiniCUDA / MiniOMP.
+
+The LASSI paper translates between CUDA and OpenMP-target-offload C++ and
+relies on real toolchains (nvcc, clang with offload) to produce the compile
+and runtime errors that drive its self-correcting loops.  This package is the
+offline stand-in: a genuine (small) compiler front-end — lexer, recursive-
+descent parser, semantic analyzer with clang-style diagnostics — over a C
+subset rich enough to express the ten HeCBench applications in both dialects.
+
+Dialects
+--------
+``Dialect.CUDA``
+    ``__global__``/``__device__`` qualifiers, ``kernel<<<grid, block>>>(...)``
+    launch syntax, ``threadIdx.x``-family builtins, the ``cudaMalloc`` /
+    ``cudaMemcpy`` / ``cudaFree`` API, and device atomics.
+``Dialect.OMP``
+    ``#pragma omp`` statements (``target data``, ``target teams distribute
+    parallel for``, ``parallel for``, ``atomic``) with map / reduction /
+    num_threads / collapse / schedule clauses.
+"""
+
+from repro.minilang.source import Dialect, SourceFile, Span
+from repro.minilang.diagnostics import Diagnostic, DiagnosticBag, Severity
+from repro.minilang.lexer import Lexer, Token, TokenKind, lex
+from repro.minilang.parser import Parser, parse
+from repro.minilang.semantics import analyze
+from repro.minilang.codegen import CodegenStyle, generate
+from repro.minilang import ast
+
+__all__ = [
+    "Dialect",
+    "SourceFile",
+    "Span",
+    "Diagnostic",
+    "DiagnosticBag",
+    "Severity",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "lex",
+    "Parser",
+    "parse",
+    "analyze",
+    "CodegenStyle",
+    "generate",
+    "ast",
+]

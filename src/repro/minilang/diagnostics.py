@@ -1,0 +1,88 @@
+"""Compiler diagnostics with clang/nvcc-flavoured rendering.
+
+LASSI's self-correction loop feeds raw compiler stderr back into the LLM
+(Table III of the paper), so the *textual shape* of diagnostics matters: the
+simulated LLM pattern-matches on them exactly as a real model would attend to
+tokens like ``error: use of undeclared identifier 'foo'``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.minilang.source import SourceFile, Span
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One compiler message.
+
+    ``code`` is a stable machine-readable identifier (e.g. ``undeclared-ident``)
+    used by tests and by the simulated LLM's repair matcher; ``message`` is the
+    human/LLM-facing text.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    span: Span
+    hint: Optional[str] = None
+
+    def render(self, source: Optional[SourceFile] = None) -> str:
+        name = source.name if source else "<source>"
+        out = f"{name}:{self.span.line}:{self.span.col}: {self.severity.value}: {self.message}"
+        if source is not None and self.span.line > 0:
+            line = source.line(self.span.line)
+            if line:
+                caret = " " * max(self.span.col - 1, 0) + "^"
+                out += f"\n{line}\n{caret}"
+        if self.hint:
+            out += f"\n{name}:{self.span.line}:{self.span.col}: note: {self.hint}"
+        return out
+
+
+@dataclass
+class DiagnosticBag:
+    """Accumulates diagnostics during lexing / parsing / semantic analysis."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def error(self, code: str, message: str, span: Span, hint: Optional[str] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.ERROR, code, message, span, hint))
+
+    def warning(self, code: str, message: str, span: Span, hint: Optional[str] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.WARNING, code, message, span, hint))
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def extend(self, other: "DiagnosticBag") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    def render(self, source: Optional[SourceFile] = None, max_errors: int = 20) -> str:
+        """Render all diagnostics as a compiler-stderr string."""
+        shown = self.diagnostics[:max_errors]
+        parts = [d.render(source) for d in shown]
+        nerr = len(self.errors)
+        if nerr:
+            parts.append(f"{nerr} error{'s' if nerr != 1 else ''} generated.")
+        return "\n".join(parts)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

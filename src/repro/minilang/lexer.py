@@ -1,0 +1,266 @@
+"""Lexer for the mini-language.
+
+Produces a flat token stream.  ``#pragma`` lines are captured as single
+``PRAGMA`` tokens (their clause text is parsed later by
+:mod:`repro.minilang.pragma`); ``#include`` lines are tolerated and skipped so
+LLM-style output that carries includes still lexes.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.minilang.diagnostics import DiagnosticBag
+from repro.minilang.source import Span
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    INT_LIT = "integer literal"
+    FLOAT_LIT = "float literal"
+    STRING_LIT = "string literal"
+    CHAR_LIT = "char literal"
+    PUNCT = "punctuation"
+    PRAGMA = "pragma"
+    EOF = "end of file"
+
+
+KEYWORDS = frozenset(
+    {
+        "int", "float", "double", "char", "bool", "void", "long", "unsigned",
+        "size_t",
+        "if", "else", "for", "while", "do", "return", "break", "continue",
+        "sizeof", "true", "false", "NULL", "nullptr", "const",
+        "__global__", "__device__", "__host__", "__shared__", "__restrict__",
+        "struct",
+    }
+)
+
+# Longest-first multi-character punctuation. ``<<<``/``>>>`` are lexed as
+# single tokens only when the CUDA dialect is active — in plain C they would
+# be shift-assign sequences, and none of our programs use nested templates.
+_PUNCT3 = ["<<<", ">>>", "<<=", ">>=", "..."]
+_PUNCT2 = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "->",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::",
+]
+_PUNCT1 = list("+-*/%<>=!&|^~?:;,.(){}[]#")
+
+_NUMBER_RE = re.compile(
+    r"""
+      0[xX][0-9a-fA-F]+[uUlL]*
+    | (?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]?
+    | \d+[eE][+-]?\d+[fF]?
+    | \d+[uUlLfF]*
+    """,
+    re.VERBOSE,
+)
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: Span
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.span})"
+
+
+class Lexer:
+    """Single-pass lexer.  Errors become diagnostics, never exceptions."""
+
+    def __init__(self, text: str, diagnostics: Optional[DiagnosticBag] = None,
+                 cuda_launch_syntax: bool = False) -> None:
+        self.text = text
+        self.diagnostics = diagnostics if diagnostics is not None else DiagnosticBag()
+        self.cuda_launch_syntax = cuda_launch_syntax
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level helpers -------------------------------------------------
+    def _span(self) -> Span:
+        return Span(self.line, self.col)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        p = self.pos + offset
+        return self.text[p] if p < len(self.text) else ""
+
+    def _match(self, s: str) -> bool:
+        return self.text.startswith(s, self.pos)
+
+    # -- token producers ---------------------------------------------------
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        span = self._span()
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", span)
+        ch = self._peek()
+
+        if ch == "#":
+            return self._lex_directive(span)
+
+        if ch == '"':
+            return self._lex_string(span)
+
+        if ch == "'":
+            return self._lex_char(span)
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            m = _NUMBER_RE.match(self.text, self.pos)
+            assert m is not None
+            text = m.group(0)
+            self._advance(len(text))
+            is_float = (
+                "." in text
+                or (
+                    not text.lower().startswith("0x")
+                    and ("e" in text.lower() or text.rstrip("uUlL").endswith(("f", "F")))
+                )
+            )
+            kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+            return Token(kind, text, span)
+
+        m = _IDENT_RE.match(self.text, self.pos)
+        if m:
+            text = m.group(0)
+            self._advance(len(text))
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            return Token(kind, text, span)
+
+        if self.cuda_launch_syntax:
+            for p in ("<<<", ">>>"):
+                if self._match(p):
+                    self._advance(3)
+                    return Token(TokenKind.PUNCT, p, span)
+        for p in _PUNCT3:
+            if p in ("<<<", ">>>"):
+                continue
+            if self._match(p):
+                self._advance(3)
+                return Token(TokenKind.PUNCT, p, span)
+        for p in _PUNCT2:
+            if self._match(p):
+                self._advance(2)
+                return Token(TokenKind.PUNCT, p, span)
+        if ch in _PUNCT1:
+            self._advance(1)
+            return Token(TokenKind.PUNCT, ch, span)
+
+        self.diagnostics.error(
+            "invalid-character",
+            f"invalid character {ch!r} in source",
+            span,
+        )
+        self._advance(1)
+        return self.next_token()
+
+    # -- pieces ------------------------------------------------------------
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance(1)
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance(1)
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._span()
+                self._advance(2)
+                while self.pos < len(self.text) and not self._match("*/"):
+                    self._advance(1)
+                if self.pos >= len(self.text):
+                    self.diagnostics.error(
+                        "unterminated-comment", "unterminated /* comment", start
+                    )
+                else:
+                    self._advance(2)
+            else:
+                return
+
+    def _lex_directive(self, span: Span) -> Token:
+        # Capture the full logical line (with backslash continuations).
+        start = self.pos
+        while self.pos < len(self.text):
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+                continue
+            if self._peek() == "\n":
+                break
+            self._advance(1)
+        text = self.text[start:self.pos].replace("\\\n", " ").strip()
+        if text.startswith("#pragma"):
+            return Token(TokenKind.PRAGMA, text, span)
+        if text.startswith(("#include", "#define", "#ifdef", "#ifndef", "#endif", "#if", "#else")):
+            # Tolerated and skipped: LLM output routinely carries includes.
+            return self.next_token()
+        self.diagnostics.error(
+            "unknown-directive", f"unknown preprocessor directive: {text.split()[0] if text.split() else '#'}", span
+        )
+        return self.next_token()
+
+    def _lex_string(self, span: Span) -> Token:
+        start = self.pos
+        self._advance(1)
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch == "\\":
+                self._advance(2)
+                continue
+            if ch == '"':
+                self._advance(1)
+                return Token(TokenKind.STRING_LIT, self.text[start:self.pos], span)
+            if ch == "\n":
+                break
+            self._advance(1)
+        self.diagnostics.error("unterminated-string", "unterminated string literal", span)
+        return Token(TokenKind.STRING_LIT, self.text[start:self.pos] + '"', span)
+
+    def _lex_char(self, span: Span) -> Token:
+        start = self.pos
+        self._advance(1)
+        if self._peek() == "\\":
+            self._advance(2)
+        elif self.pos < len(self.text):
+            self._advance(1)
+        if self._peek() == "'":
+            self._advance(1)
+            return Token(TokenKind.CHAR_LIT, self.text[start:self.pos], span)
+        self.diagnostics.error("unterminated-char", "unterminated character literal", span)
+        return Token(TokenKind.CHAR_LIT, self.text[start:self.pos] + "'", span)
+
+
+def lex(text: str, cuda_launch_syntax: bool = False) -> List[Token]:
+    """Convenience: lex ``text`` and return tokens, raising on lex errors."""
+    bag = DiagnosticBag()
+    toks = Lexer(text, bag, cuda_launch_syntax=cuda_launch_syntax).tokens()
+    return toks

@@ -1,0 +1,29 @@
+"""The LASSI pipeline (§III of the paper).
+
+Stages, in the paper's order:
+
+1. **Source code preparation** (:mod:`repro.pipeline.baseline`) — compile
+   and execute the original code in both languages; halt on failure.
+2. **Context preparation** (:mod:`repro.prompts`) — prompt dictionary +
+   language knowledge + self-prompting summaries.
+3. **Code generation** — query the LLM, filter out the fenced code block.
+4. **Self-correcting loops** (:class:`~repro.pipeline.lassi.LassiPipeline`)
+   — compile; on error re-prompt with stderr; then execute; on error
+   re-prompt; repeat until clean or the iteration cap is hit.
+5. **Verification** (:mod:`repro.pipeline.verification`) — automated stdout
+   comparison against the reference (the paper did this manually and lists
+   automating it as future work; we implement it).
+"""
+
+from repro.pipeline.lassi import LassiPipeline, PipelineConfig
+from repro.pipeline.results import Attempt, LassiResult
+from repro.pipeline.baseline import Baseline, BaselinePreparer
+
+__all__ = [
+    "LassiPipeline",
+    "PipelineConfig",
+    "LassiResult",
+    "Attempt",
+    "Baseline",
+    "BaselinePreparer",
+]

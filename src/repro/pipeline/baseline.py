@@ -1,0 +1,92 @@
+"""Source-code preparation stage (§III-A of the paper).
+
+Compiles and executes the original code in both the source and the target
+language before any translation happens.  A failure **halts** the pipeline
+(the paper: "LASSI halts and does not move forward with the translation
+until the user corrects the code").  Successful runs are cached per
+(source, dialect, args) so the 80-scenario experiment pays the baseline cost
+once per app, not once per model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import BaselineError
+from repro.minilang.source import Dialect
+from repro.toolchain import CompileResult, Executor, compiler_for
+from repro.toolchain.executor import ExecutionResult
+
+
+@dataclass
+class Baseline:
+    """A verified-working original program plus its captured behaviour."""
+
+    dialect: Dialect
+    source: str
+    compile_result: CompileResult
+    execution: ExecutionResult
+
+    @property
+    def stdout(self) -> str:
+        return self.execution.stdout
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.execution.runtime_seconds
+
+    @property
+    def compile_command(self) -> str:
+        return self.compile_result.command
+
+
+class BaselinePreparer:
+    """Prepares and caches baselines (the §III-A stage)."""
+
+    def __init__(self, executor: Optional[Executor] = None) -> None:
+        self.executor = executor or Executor()
+        self._cache: Dict[Tuple[str, str, Tuple[str, ...], float, float], Baseline] = {}
+
+    def prepare(
+        self,
+        source: str,
+        dialect: Dialect,
+        args: Sequence[str] = (),
+        work_scale: float = 1.0,
+        launch_scale: Optional[float] = None,
+    ) -> Baseline:
+        """Compile + run the original code; raises BaselineError on failure."""
+        key = (
+            source, dialect.value, tuple(args), work_scale,
+            launch_scale if launch_scale is not None else work_scale,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        compiler = compiler_for(dialect)
+        compile_result = compiler.compile(source)
+        if not compile_result.ok:
+            raise BaselineError(
+                f"original {dialect.display_name} code failed to compile; "
+                f"LASSI halts until the user corrects it:\n"
+                f"{compile_result.stderr}"
+            )
+        execution = self.executor.run(
+            compile_result.program, dialect, args,
+            work_scale=work_scale, launch_scale=launch_scale,
+        )
+        if not execution.ok:
+            raise BaselineError(
+                f"original {dialect.display_name} code failed to execute; "
+                f"LASSI halts until the user corrects it:\n{execution.stderr}"
+            )
+        baseline = Baseline(
+            dialect=dialect,
+            source=source,
+            compile_result=compile_result,
+            execution=execution,
+        )
+        self._cache[key] = baseline
+        return baseline

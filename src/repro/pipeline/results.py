@@ -1,0 +1,59 @@
+"""Result records produced by the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.metrics.aggregate import ScenarioMetrics
+
+
+@dataclass
+class Attempt:
+    """One generation attempt inside the self-correction loops."""
+
+    index: int
+    kind: str  # "initial" | "compile-correction" | "execute-correction"
+    code: Optional[str]
+    compiled: bool = False
+    executed: bool = False
+    stderr: str = ""
+
+
+@dataclass
+class LassiResult:
+    """Full record of one pipeline run (one Table VI/VII cell)."""
+
+    status: str  # success | no-code | compile-failed | execute-failed |
+    #              output-mismatch
+    source_dialect: str
+    target_dialect: str
+    model: str
+    generated_code: Optional[str] = None
+    stdout: str = ""
+    runtime_seconds: Optional[float] = None
+    ratio: Optional[float] = None
+    sim_t: Optional[float] = None
+    sim_l: Optional[float] = None
+    self_corrections: int = 0
+    attempts: List[Attempt] = field(default_factory=list)
+    prompt_tokens: int = 0
+    verified: bool = False
+    failure_detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "success"
+
+    def metrics(self) -> ScenarioMetrics:
+        """Project onto the five table columns (§V-A)."""
+        if not self.ok:
+            return ScenarioMetrics(ok=False)
+        return ScenarioMetrics(
+            ok=True,
+            runtime_seconds=self.runtime_seconds,
+            ratio=self.ratio,
+            sim_t=self.sim_t,
+            sim_l=self.sim_l,
+            self_corrections=self.self_corrections,
+        )

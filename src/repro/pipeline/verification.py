@@ -1,0 +1,48 @@
+"""Automated output verification.
+
+The paper compares the generated code's standard output against the
+reference manually and lists automated verification as future work (§VI);
+this module implements that extension.  Success requires the normalized
+stdout of the generated program to match the reference program's exactly —
+both dialect versions of every suite app produce byte-identical output by
+construction, so exact matching is the right bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.text import normalize_stdout
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    matches: bool
+    expected: str
+    actual: str
+
+    @property
+    def detail(self) -> str:
+        if self.matches:
+            return "output matches the reference"
+        exp_lines = self.expected.splitlines()
+        act_lines = self.actual.splitlines()
+        for i, (e, a) in enumerate(zip(exp_lines, act_lines)):
+            if e != a:
+                return (
+                    f"first difference at line {i + 1}: "
+                    f"expected {e!r}, got {a!r}"
+                )
+        return (
+            f"line count differs: expected {len(exp_lines)}, "
+            f"got {len(act_lines)}"
+        )
+
+
+def verify_output(expected_stdout: str, actual_stdout: str) -> VerificationResult:
+    """Compare normalized stdouts (trailing whitespace / edge blanks ignored)."""
+    expected = normalize_stdout(expected_stdout)
+    actual = normalize_stdout(actual_stdout)
+    return VerificationResult(
+        matches=(expected == actual), expected=expected, actual=actual
+    )

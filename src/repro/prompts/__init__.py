@@ -1,0 +1,30 @@
+"""Prompt engineering layer: dictionary, language knowledge, prompt builder.
+
+Implements §III-B/C of the paper: a predefined dictionary of system / user
+prompts (Tables I-III), programming-language knowledge documents sized to fit
+the smallest context window in Table V, and the full-prompt assembly with
+self-prompting (knowledge summary + source-code description).
+"""
+
+from repro.prompts.dictionary import (
+    CORRECTION_PROMPTS,
+    SYSTEM_PROMPTS,
+    TRANSLATION_PROMPTS,
+    correction_prompt,
+    system_prompt,
+    translation_prompt,
+)
+from repro.prompts.knowledge import knowledge_document
+from repro.prompts.builder import PromptBuilder, PromptBundle
+
+__all__ = [
+    "SYSTEM_PROMPTS",
+    "TRANSLATION_PROMPTS",
+    "CORRECTION_PROMPTS",
+    "system_prompt",
+    "translation_prompt",
+    "correction_prompt",
+    "knowledge_document",
+    "PromptBuilder",
+    "PromptBundle",
+]

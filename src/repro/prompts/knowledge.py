@@ -1,0 +1,757 @@
+"""Programming-language knowledge documents (§III-B of the paper).
+
+The paper injects two documents into the prompt: the full OpenMP API 4.0
+C/C++ Syntax Quick Reference Card (7,290 tokens) for CUDA->OpenMP, and
+Chapter 5 of the CUDA C++ Programming Guide release 12.5 (4,053 tokens) for
+OpenMP->CUDA.  Those documents are not redistributable, so we synthesize
+reference cards of the same genre and the same token budgets: structured
+directive/API catalogues with short usage notes, generated from tables so
+their content is accurate for the mini-language dialects the pipeline
+actually translates.
+
+Token budgets are asserted in tests (within 10% of the paper's counts with
+the project tokenizer) because they drive the context-window math of
+§III-B — the documents must fit the 16,384-token window of Wizard Coder
+alongside the source code and self-prompt summaries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minilang.source import Dialect
+
+_OMP_DIRECTIVES = [
+    ("parallel", "structured-block",
+     "Creates a team of threads that execute the structured block concurrently.",
+     ["if(expr)", "num_threads(n)", "default(shared|none)", "private(list)",
+      "firstprivate(list)", "shared(list)", "copyin(list)", "reduction(op: list)",
+      "proc_bind(master|close|spread)"]),
+    ("for", "for-loops",
+     "Distributes the iterations of one or more canonical for loops among the "
+     "threads of the current team.",
+     ["private(list)", "firstprivate(list)", "lastprivate(list)",
+      "reduction(op: list)", "schedule(kind[, chunk])", "collapse(n)",
+      "ordered", "nowait"]),
+    ("parallel for", "for-loops",
+     "Shortcut combining parallel and for: creates a team and distributes the "
+     "loop iterations in one construct.",
+     ["if(expr)", "num_threads(n)", "private(list)", "firstprivate(list)",
+      "lastprivate(list)", "reduction(op: list)", "schedule(kind[, chunk])",
+      "collapse(n)"]),
+    ("sections", "section-blocks",
+     "Distributes independent structured blocks among the threads of the team.",
+     ["private(list)", "firstprivate(list)", "lastprivate(list)",
+      "reduction(op: list)", "nowait"]),
+    ("single", "structured-block",
+     "The block executes on one thread of the team; an implicit barrier "
+     "follows unless nowait is present.",
+     ["private(list)", "firstprivate(list)", "copyprivate(list)", "nowait"]),
+    ("task", "structured-block",
+     "Defines an explicit task that may execute asynchronously by any thread "
+     "of the team.",
+     ["if(expr)", "final(expr)", "untied", "default(shared|none)",
+      "mergeable", "private(list)", "firstprivate(list)", "shared(list)",
+      "depend(type: list)", "priority(n)"]),
+    ("taskwait", "standalone",
+     "Waits for the completion of child tasks generated since the beginning "
+     "of the current task.", []),
+    ("barrier", "standalone",
+     "All threads of the team must reach the barrier before any proceed.", []),
+    ("critical", "structured-block",
+     "The block executes by one thread at a time; an optional name "
+     "distinguishes independent critical regions.", []),
+    ("atomic", "update-statement",
+     "Ensures a specific storage location is read, written or updated "
+     "atomically. Forms: read, write, update (default), capture.",
+     ["seq_cst", "read", "write", "update", "capture"]),
+    ("flush", "standalone",
+     "Makes the executing thread's view of memory consistent; an optional "
+     "list restricts the flush set.", []),
+    ("ordered", "structured-block",
+     "The block executes in the sequential order of the loop iterations "
+     "within an enclosing for construct declared ordered.", []),
+    ("simd", "for-loops",
+     "Declares that the loop iterations can be executed concurrently with "
+     "SIMD instructions.",
+     ["safelen(n)", "linear(list[: step])", "aligned(list[: n])",
+      "private(list)", "lastprivate(list)", "reduction(op: list)",
+      "collapse(n)"]),
+    ("declare simd", "function-declaration",
+     "Generates SIMD-enabled versions of an associated function.",
+     ["simdlen(n)", "linear(list)", "aligned(list)", "uniform(list)",
+      "inbranch", "notinbranch"]),
+    ("target", "structured-block",
+     "Maps variables to a device data environment and executes the block on "
+     "the target device. Execution inside the region is initially a single "
+     "thread; combine with teams and parallel constructs for parallelism.",
+     ["device(n)", "map([kind:] list)", "if(expr)"]),
+    ("target data", "structured-block",
+     "Creates a device data environment for the extent of the region without "
+     "initiating device execution. Arrays mapped here stay resident for all "
+     "enclosed target regions, avoiding repeated host-device transfers.",
+     ["device(n)", "map([kind:] list)", "if(expr)"]),
+    ("target update", "standalone",
+     "Makes the listed items consistent between host and device inside a "
+     "target data region.",
+     ["to(list)", "from(list)", "device(n)", "if(expr)"]),
+    ("declare target", "declarations",
+     "Marks functions and variables as available in the device data "
+     "environment.", []),
+    ("teams", "structured-block",
+     "Creates a league of thread teams; must be strictly nested inside a "
+     "target construct.",
+     ["num_teams(n)", "thread_limit(n)", "default(shared|none)",
+      "private(list)", "firstprivate(list)", "shared(list)",
+      "reduction(op: list)"]),
+    ("distribute", "for-loops",
+     "Distributes the iterations of the loops among the master threads of "
+     "all teams in the league.",
+     ["private(list)", "firstprivate(list)", "collapse(n)",
+      "dist_schedule(static[, chunk])"]),
+    ("target teams distribute parallel for", "for-loops",
+     "Combined accelerated worksharing construct: offloads the loop to the "
+     "device, creates a league of teams and distributes iterations across "
+     "all device threads. The workhorse directive for GPU offloading of "
+     "data-parallel loops.",
+     ["device(n)", "map([kind:] list)", "num_teams(n)", "thread_limit(n)",
+      "num_threads(n)", "reduction(op: list)", "collapse(n)",
+      "schedule(static[, chunk])", "private(list)", "firstprivate(list)"]),
+]
+
+_OMP_CLAUSE_NOTES = [
+    ("map(to: list)",
+     "Copies each list item from the host to the device data environment on "
+     "entry to the region. Array sections use the form name[lower:length]."),
+    ("map(from: list)",
+     "Allocates device storage on entry and copies each item back to the "
+     "host on exit from the region."),
+    ("map(tofrom: list)",
+     "Combination of to and from: copy in on entry, copy out on exit. This "
+     "is the default map kind when none is specified."),
+    ("map(alloc: list)",
+     "Allocates uninitialized device storage; no copies in either direction. "
+     "Use for purely intermediate device arrays."),
+    ("reduction(+: x)",
+     "Each thread works on a private copy of x initialized to the identity; "
+     "the copies are combined with the original variable at the end of the "
+     "region. Operators: + * - & | ^ && || max min."),
+    ("schedule(static[, chunk])",
+     "Iterations are divided into chunks assigned round-robin to threads at "
+     "compile time; the recommended schedule for regular GPU loops."),
+    ("schedule(dynamic[, chunk])",
+     "Chunks are handed to threads on request; higher overhead, avoid on "
+     "accelerator targets."),
+    ("collapse(n)",
+     "Fuses the iteration spaces of the next n perfectly nested loops into "
+     "one larger iteration space before distribution."),
+    ("num_threads(n)",
+     "Requests n threads for the parallel region. Omitting it on offloaded "
+     "loops lets the runtime pick the device-appropriate width."),
+    ("num_teams(n) / thread_limit(n)",
+     "Bound the league size and the per-team thread count of a teams "
+     "construct."),
+    ("private(list) / firstprivate(list)",
+     "Gives each thread an uninitialized (private) or value-initialized "
+     "(firstprivate) copy of each listed variable."),
+    ("if(expr)",
+     "When expr evaluates to false the region executes on the host (target) "
+     "or serially (parallel)."),
+]
+
+_OMP_RUNTIME = [
+    ("int omp_get_num_threads(void)",
+     "Number of threads in the current team."),
+    ("int omp_get_max_threads(void)",
+     "Upper bound on threads available to a subsequent parallel region."),
+    ("int omp_get_thread_num(void)",
+     "Thread number of the calling thread, 0 .. team size - 1."),
+    ("void omp_set_num_threads(int n)",
+     "Sets the default team size for subsequent parallel regions."),
+    ("int omp_get_num_devices(void)",
+     "Number of available non-host devices."),
+    ("int omp_get_team_num(void)", "Team number within the current league."),
+    ("int omp_get_num_teams(void)", "Number of teams in the current league."),
+    ("double omp_get_wtime(void)", "Elapsed wall-clock time in seconds."),
+    ("int omp_is_initial_device(void)",
+     "Nonzero when executing on the host device."),
+    ("void omp_set_default_device(int n)", "Sets the default target device."),
+]
+
+_CUDA_SECTIONS = [
+    ("5.1 Kernels",
+     "CUDA C++ extends C++ by allowing the definition of kernels: functions "
+     "declared with the __global__ specifier that, when called, are executed "
+     "N times in parallel by N different CUDA threads. A kernel is launched "
+     "with the execution configuration syntax name<<<numBlocks, "
+     "threadsPerBlock>>>(arguments). Each thread that executes the kernel is "
+     "given a unique thread ID accessible through built-in variables.",
+     [("__global__ void k(float* a)", "kernel definition; must return void"),
+      ("k<<<grid, block>>>(args);",
+       "asynchronous launch of grid x block threads"),
+      ("threadIdx.x", "thread index within the block (also .y, .z)"),
+      ("blockIdx.x", "block index within the grid"),
+      ("blockDim.x", "number of threads per block"),
+      ("gridDim.x", "number of blocks in the grid"),
+      ("int i = blockIdx.x * blockDim.x + threadIdx.x;",
+       "the canonical global index of a 1-D launch"),
+      ("if (i < n) { ... }",
+       "guard required because the grid is rounded up to whole blocks")]),
+    ("5.2 Thread hierarchy",
+     "Threads are grouped into blocks of up to 1024 threads; blocks are "
+     "grouped into a grid. Blocks are required to execute independently so "
+     "they can be scheduled in any order across streaming multiprocessors. "
+     "Threads within a block can cooperate through shared memory and can "
+     "synchronize with __syncthreads(), which acts as a barrier for every "
+     "thread of the block.",
+     [("__shared__ float tile[256];", "block-local shared memory array"),
+      ("__syncthreads();",
+       "block-wide barrier; all threads must reach it (no divergence)"),
+      ("dim3 block(16, 16);", "multi-dimensional block shape"),
+      ("blocks = (n + block - 1) / block;",
+       "grid size that covers n elements")]),
+    ("5.3 Memory hierarchy",
+     "Each thread has private local memory and registers. Each block has "
+     "shared memory visible to the whole block with the block's lifetime. "
+     "All threads access the same global memory. Global memory accesses are "
+     "most efficient when consecutive threads access consecutive addresses "
+     "(coalescing).",
+     [("cudaMalloc(&devPtr, bytes)", "allocate global device memory"),
+      ("cudaFree(devPtr)", "release device memory"),
+      ("cudaMemcpy(dst, src, bytes, kind)",
+       "blocking copy; kind is cudaMemcpyHostToDevice, DeviceToHost or "
+       "DeviceToDevice"),
+      ("cudaMemset(devPtr, value, bytes)", "fill device memory"),
+      ("cudaDeviceSynchronize()",
+       "block the host until all queued device work completes")]),
+    ("5.4 Heterogeneous programming",
+     "The CUDA programming model assumes the host and the device maintain "
+     "separate memory spaces. A typical program allocates device memory, "
+     "copies input data from host to device, launches kernels, and copies "
+     "results back. Dereferencing a device pointer on the host, or a host "
+     "pointer on the device, is undefined behaviour and typically faults.",
+     [("float* d_a; cudaMalloc(&d_a, n * sizeof(float));",
+       "device allocation idiom"),
+      ("cudaMemcpy(d_a, h_a, n * sizeof(float), cudaMemcpyHostToDevice);",
+       "stage inputs before the first launch"),
+      ("cudaMemcpy(h_c, d_c, n * sizeof(float), cudaMemcpyDeviceToHost);",
+       "collect results after the last launch"),
+      ("cudaGetLastError()", "returns the last error raised by the runtime")]),
+    ("5.5 Atomic functions and cooperation",
+     "Atomic functions perform read-modify-write operations on one 32-bit or "
+     "64-bit word in global or shared memory without interference from other "
+     "threads. Heavy contention on a single address serializes and should be "
+     "reduced with privatization or reductions where possible.",
+     [("atomicAdd(&x, v)", "returns the old value; int, float and double"),
+      ("atomicSub(&x, v)", "subtraction on 32-bit integers"),
+      ("atomicMax(&x, v) / atomicMin(&x, v)", "maximum / minimum"),
+      ("atomicExch(&x, v)", "swap"),
+      ("atomicCAS(&x, compare, v)", "compare-and-swap primitive")]),
+    ("5.6 Performance guidelines",
+     "Expose sufficient parallelism to saturate the device: launches of a "
+     "few hundred threads leave most multiprocessors idle. Minimize host-"
+     "device transfers, keep data resident on the device across kernel "
+     "launches, prefer coalesced access patterns, and avoid divergent "
+     "branches within a warp. Choose thread-block sizes that are multiples "
+     "of the warp size (32); 128 to 512 threads per block is typical.",
+     [("occupancy", "ratio of resident warps to the hardware maximum"),
+      ("coalescing", "one memory transaction servicing a whole warp"),
+      ("warp", "group of 32 threads executing in lockstep"),
+      ("stream", "queue of device work that may overlap with others")]),
+]
+
+
+_OMP_ENV_VARS = [
+    ("OMP_NUM_THREADS", "Default number of threads for parallel regions."),
+    ("OMP_SCHEDULE", "Run-sched-var for schedule(runtime) loops, e.g. 'static,4'."),
+    ("OMP_DYNAMIC", "Enables dynamic adjustment of team sizes."),
+    ("OMP_NESTED", "Enables nested parallelism."),
+    ("OMP_STACKSIZE", "Stack size for threads created by the runtime."),
+    ("OMP_WAIT_POLICY", "ACTIVE (spin) or PASSIVE (yield) waiting."),
+    ("OMP_PROC_BIND", "Thread affinity policy: true, false, master, close, spread."),
+    ("OMP_PLACES", "Abstract or explicit list of places for affinity."),
+    ("OMP_DEFAULT_DEVICE", "Device number used when no device clause is given."),
+    ("OMP_MAX_ACTIVE_LEVELS", "Maximum number of nested active parallel regions."),
+    ("OMP_THREAD_LIMIT", "Upper bound on the number of OpenMP threads."),
+    ("OMP_CANCELLATION", "Enables the cancel construct."),
+    ("OMP_DISPLAY_ENV", "Print the OpenMP version and ICV settings at startup."),
+]
+
+_OMP_EXAMPLES = [
+    ("Offloaded vector add",
+     ["int n = 1 << 20;",
+      "#pragma omp target teams distribute parallel for map(to: a[0:n]) \\",
+      "        map(to: b[0:n]) map(from: c[0:n])",
+      "for (int i = 0; i < n; i++) {",
+      "  c[i] = a[i] + b[i];",
+      "}"]),
+    ("Device-resident iteration with target data",
+     ["#pragma omp target data map(tofrom: u[0:n]) map(alloc: tmp[0:n])",
+      "{",
+      "  for (int it = 0; it < iters; it++) {",
+      "    #pragma omp target teams distribute parallel for",
+      "    for (int i = 1; i < n - 1; i++) {",
+      "      tmp[i] = 0.5 * (u[i - 1] + u[i + 1]);",
+      "    }",
+      "    double* t = u; u = tmp; tmp = t;",
+      "  }",
+      "}"]),
+    ("Offloaded reduction",
+     ["double sum = 0.0;",
+      "#pragma omp target teams distribute parallel for map(to: x[0:n]) \\",
+      "        reduction(+: sum)",
+      "for (int i = 0; i < n; i++) {",
+      "  sum += x[i] * x[i];",
+      "}"]),
+    ("Atomic histogram update",
+     ["#pragma omp target teams distribute parallel for map(to: v[0:n]) \\",
+      "        map(tofrom: hist[0:nbins])",
+      "for (int i = 0; i < n; i++) {",
+      "  #pragma omp atomic",
+      "  hist[v[i] % nbins] += 1;",
+      "}"]),
+    ("Collapsed 2-D loop nest",
+     ["#pragma omp target teams distribute parallel for collapse(2) \\",
+      "        map(tofrom: grid[0:rows*cols])",
+      "for (int r = 0; r < rows; r++) {",
+      "  for (int c = 0; c < cols; c++) {",
+      "    grid[r * cols + c] *= 2.0f;",
+      "  }",
+      "}"]),
+    ("Host parallel for with static schedule",
+     ["#pragma omp parallel for schedule(static) num_threads(8)",
+      "for (int i = 0; i < n; i++) {",
+      "  y[i] = a * x[i] + y[i];",
+      "}"]),
+]
+
+_OMP_PITFALLS = [
+    ("Forgetting the map clause",
+     "A pointer dereferenced inside a target region without a corresponding "
+     "map (and outside any enclosing target data region) is a host address "
+     "on the device; the access faults or silently reads garbage."),
+    ("Mapping on every iteration",
+     "Placing map(tofrom:) on a target loop inside an iteration loop "
+     "re-transfers the arrays across PCIe on every pass; hoist the data "
+     "into a target data region and the transfers disappear."),
+    ("Dropping 'parallel for' from the combined construct",
+     "'#pragma omp target' alone executes the region with a single device "
+     "thread. '#pragma omp target teams distribute' without 'parallel for' "
+     "uses one thread per team. Either form leaves the accelerator almost "
+     "entirely idle and can be orders of magnitude slower."),
+    ("Racing on a shared scalar",
+     "Accumulating into a shared variable without a reduction clause or "
+     "atomic directive is a data race; results vary run to run."),
+    ("Non-canonical loops",
+     "Loop directives require the canonical form with an invariant bound; "
+     "while loops and iterator-style loops are not distributable."),
+    ("Expecting map(from:) to preserve host values",
+     "map(from:) does not copy host data to the device on entry; device "
+     "storage starts undefined. Use tofrom when the region reads and "
+     "writes the array."),
+    ("Relying on dynamic scheduling on devices",
+     "schedule(dynamic) serializes on a shared counter on most device "
+     "runtimes; prefer schedule(static)."),
+    ("Assuming synchronization between teams",
+     "Teams cannot synchronize with each other inside a target region; "
+     "split the work into separate target regions instead."),
+]
+
+
+def _render_omp_card() -> str:
+    lines: List[str] = []
+    lines.append("OpenMP API 4.0 C/C++ Syntax Quick Reference Card (offline rendition)")
+    lines.append("=" * 72)
+    lines.append(
+        "OpenMP is an API for writing multithreaded applications consisting "
+        "of compiler directives, library routines and environment variables. "
+        "Directives take the form '#pragma omp directive-name [clause[,] "
+        "...]' and apply to the following statement or structured block. "
+        "This card summarizes the directives and clauses of the 4.0 "
+        "specification with device (accelerator) support."
+    )
+    lines.append("")
+    lines.append("DIRECTIVES")
+    lines.append("-" * 72)
+    for name, applies, desc, clauses in _OMP_DIRECTIVES:
+        lines.append(f"#pragma omp {name}")
+        lines.append(f"  applies to: {applies}")
+        lines.append(f"  {desc}")
+        if clauses:
+            lines.append("  clauses: " + ", ".join(clauses))
+        lines.append("")
+    lines.append("CLAUSE NOTES")
+    lines.append("-" * 72)
+    for clause, note in _OMP_CLAUSE_NOTES:
+        lines.append(f"{clause}")
+        lines.append(f"  {note}")
+        lines.append("")
+    lines.append("RUNTIME LIBRARY ROUTINES (omp.h)")
+    lines.append("-" * 72)
+    for sig, note in _OMP_RUNTIME:
+        lines.append(f"{sig}")
+        lines.append(f"  {note}")
+        lines.append("")
+    lines.append("ENVIRONMENT VARIABLES")
+    lines.append("-" * 72)
+    for name, note in _OMP_ENV_VARS:
+        lines.append(f"{name}")
+        lines.append(f"  {note}")
+        lines.append("")
+    lines.append("EXAMPLES")
+    lines.append("-" * 72)
+    for title, code in _OMP_EXAMPLES:
+        lines.append(f"// {title}")
+        lines.extend(code)
+        lines.append("")
+    lines.append("COMMON PITFALLS")
+    lines.append("-" * 72)
+    for title, note in _OMP_PITFALLS:
+        lines.append(f"{title}:")
+        lines.append(f"  {note}")
+        lines.append("")
+    lines.append("DEVICE OFFLOADING CHECKLIST")
+    lines.append("-" * 72)
+    for item in [
+        "Map every array dereferenced inside a target region; unmapped host "
+        "pointers fault on the device.",
+        "Use 'target data' to keep arrays resident across repeated target "
+        "regions instead of remapping them every launch.",
+        "Scalars referenced in a target region are firstprivate by default.",
+        "Combine 'target teams distribute parallel for' for flat data-"
+        "parallel loops; add collapse(n) for nested loops.",
+        "Reductions across device threads require a reduction clause; plain "
+        "updates to a shared scalar race.",
+        "Updates to the same array element from multiple iterations need "
+        "'#pragma omp atomic'.",
+        "The loop following a loop directive must be in canonical form: "
+        "'for (int i = start; i < bound; i++)'.",
+        "Static schedules suit regular loops on accelerators; dynamic "
+        "scheduling adds overhead.",
+    ]:
+        lines.append(f"* {item}")
+    lines.append("")
+    lines.append("DIRECTIVE / CLAUSE COMPATIBILITY MATRIX")
+    lines.append("-" * 72)
+    all_clauses = sorted({
+        c.split("(")[0] for _, _, _, cs in _OMP_DIRECTIVES for c in cs
+    })
+    for di, (name, _, _, clauses) in enumerate(_OMP_DIRECTIVES):
+        allowed = {c.split("(")[0] for c in clauses}
+        for clause in all_clauses:
+            if clause in allowed:
+                lines.append(f"  {name} + {clause}: allowed")
+            elif di < 12:
+                lines.append(f"  {name} + {clause}: not permitted")
+        lines.append("")
+    lines.append("LOCK AND TIMING ROUTINES")
+    lines.append("-" * 72)
+    for sig, note in [
+        ("void omp_init_lock(omp_lock_t* lock)", "Initializes a simple lock."),
+        ("void omp_destroy_lock(omp_lock_t* lock)", "Uninitializes a lock."),
+        ("void omp_set_lock(omp_lock_t* lock)",
+         "Blocks until the lock is available, then sets it."),
+        ("void omp_unset_lock(omp_lock_t* lock)", "Releases the lock."),
+        ("int omp_test_lock(omp_lock_t* lock)",
+         "Attempts to set the lock without blocking."),
+        ("void omp_init_nest_lock(omp_nest_lock_t* lock)",
+         "Initializes a nestable lock."),
+        ("void omp_set_nest_lock(omp_nest_lock_t* lock)",
+         "Sets a nestable lock (re-entrant for the owner)."),
+        ("void omp_unset_nest_lock(omp_nest_lock_t* lock)",
+         "Decrements the nesting count, releasing at zero."),
+        ("double omp_get_wtime(void)",
+         "Wall-clock seconds from some fixed point in the past."),
+        ("double omp_get_wtick(void)", "Timer resolution in seconds."),
+    ]:
+        lines.append(f"{sig}")
+        lines.append(f"  {note}")
+        lines.append("")
+    lines.append("INTERNAL CONTROL VARIABLES (ICVs)")
+    lines.append("-" * 72)
+    for icv, scope, note in [
+        ("dyn-var", "data environment", "dynamic adjustment of team sizes"),
+        ("nest-var", "data environment", "nested parallelism enabled"),
+        ("nthreads-var", "data environment", "default team size list"),
+        ("run-sched-var", "data environment", "schedule for runtime loops"),
+        ("def-sched-var", "device", "implementation-defined default schedule"),
+        ("bind-var", "data environment", "thread affinity policy list"),
+        ("stacksize-var", "device", "thread stack size"),
+        ("wait-policy-var", "device", "ACTIVE or PASSIVE waiting"),
+        ("thread-limit-var", "data environment", "max threads in contention group"),
+        ("max-active-levels-var", "device", "nesting depth limit"),
+        ("place-partition-var", "data environment", "places for affinity"),
+        ("default-device-var", "data environment", "default target device"),
+        ("cancel-var", "global", "whether cancellation is enabled"),
+    ]:
+        lines.append(f"  {icv} ({scope}): {note}")
+    lines.append("")
+    lines.append("ALPHABETICAL INDEX")
+    lines.append("-" * 72)
+    index_entries = []
+    for name, applies, _, _ in _OMP_DIRECTIVES:
+        index_entries.append((name, f"directive, applies to {applies}"))
+    for clause, _ in _OMP_CLAUSE_NOTES:
+        index_entries.append((clause.split("(")[0], "clause, see clause notes"))
+    for sig, _ in _OMP_RUNTIME:
+        fn = sig.split("(")[0].split()[-1]
+        index_entries.append((fn, "runtime library routine"))
+    for var, _ in _OMP_ENV_VARS:
+        index_entries.append((var, "environment variable"))
+    for name, what in sorted(set(index_entries)):
+        lines.append(f"  {name} — {what}")
+    return "\n".join(lines)
+
+
+_CUDA_EXAMPLES = [
+    ("Vector addition",
+     ["__global__ void add(float* a, float* b, float* c, int n) {",
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;",
+      "  if (i < n) {",
+      "    c[i] = a[i] + b[i];",
+      "  }",
+      "}",
+      "// host:",
+      "float* d_a; cudaMalloc(&d_a, n * sizeof(float));",
+      "cudaMemcpy(d_a, h_a, n * sizeof(float), cudaMemcpyHostToDevice);",
+      "add<<<(n + 255) / 256, 256>>>(d_a, d_b, d_c, n);",
+      "cudaMemcpy(h_c, d_c, n * sizeof(float), cudaMemcpyDeviceToHost);"]),
+    ("Global reduction with atomics",
+     ["__global__ void sum(float* x, float* out, int n) {",
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;",
+      "  if (i < n) {",
+      "    atomicAdd(&out[0], x[i]);",
+      "  }",
+      "}",
+      "// host: cudaMemset(d_out, 0, sizeof(float)); before the launch"]),
+    ("Ping-pong buffers across iterations",
+     ["for (int it = 0; it < iters; it++) {",
+      "  step<<<blocks, threads>>>(d_in, d_out, n);",
+      "  float* t = d_in; d_in = d_out; d_out = t;",
+      "}",
+      "// copy d_in back once after the loop, not inside it"]),
+    ("2-D index from a flat launch",
+     ["int idx = blockIdx.x * blockDim.x + threadIdx.x;",
+      "int row = idx / cols;",
+      "int col = idx % cols;",
+      "if (idx < rows * cols) { grid[row * cols + col] *= 2.0f; }"]),
+]
+
+_CUDA_API_TABLE = [
+    ("cudaError_t cudaMalloc(void** devPtr, size_t size)",
+     "Allocates size bytes of linear device memory."),
+    ("cudaError_t cudaFree(void* devPtr)",
+     "Frees memory allocated with cudaMalloc."),
+    ("cudaError_t cudaMemcpy(void* dst, const void* src, size_t count, "
+     "cudaMemcpyKind kind)",
+     "Synchronous copy; the kind must match the actual source and "
+     "destination spaces or the call fails with cudaErrorInvalidValue."),
+    ("cudaError_t cudaMemset(void* devPtr, int value, size_t count)",
+     "Fills device memory with a byte value."),
+    ("cudaError_t cudaDeviceSynchronize(void)",
+     "Blocks the host until the device has completed all preceding work; "
+     "also surfaces asynchronous kernel errors."),
+    ("cudaError_t cudaGetLastError(void)",
+     "Returns and clears the last runtime error."),
+    ("const char* cudaGetErrorString(cudaError_t err)",
+     "Human-readable description of an error code."),
+]
+
+_CUDA_CHECKLIST = [
+    "Every kernel needs the bounds guard 'if (i < n)' because the grid is "
+    "rounded up to a whole number of blocks.",
+    "Pick threadsPerBlock as a multiple of 32, at most 1024; 128-512 is a "
+    "good default.",
+    "Allocate with cudaMalloc and copy inputs host-to-device before the "
+    "first launch; copy results back after the last launch.",
+    "Never dereference a device pointer in host code or a host pointer in "
+    "device code.",
+    "Keep buffers resident across iteration loops; move cudaMemcpy calls "
+    "out of hot loops.",
+    "Replace OpenMP reduction clauses with atomicAdd into a zero-initialized "
+    "device accumulator, or a block-level reduction.",
+    "Replace '#pragma omp atomic' updates with the corresponding atomic "
+    "intrinsic (atomicAdd, atomicSub, ...).",
+    "__global__ functions must return void; results travel through memory.",
+    "Kernel launches are asynchronous: call cudaDeviceSynchronize() before "
+    "timing or reading results through mapped memory.",
+    "Free device memory with cudaFree, not free().",
+]
+
+
+def _render_cuda_guide() -> str:
+    lines: List[str] = []
+    lines.append("CUDA C++ Programming Guide, Chapter 5: Programming Model "
+                 "(offline rendition)")
+    lines.append("=" * 72)
+    for title, intro, items in _CUDA_SECTIONS:
+        lines.append(title)
+        lines.append("-" * 72)
+        lines.append(intro)
+        for code, note in items:
+            lines.append(f"  {code}")
+            lines.append(f"    {note}")
+        lines.append("")
+    lines.append("5.7 Runtime API quick reference")
+    lines.append("-" * 72)
+    for sig, note in _CUDA_API_TABLE:
+        lines.append(f"  {sig}")
+        lines.append(f"    {note}")
+    lines.append("")
+    lines.append("5.8 Worked examples")
+    lines.append("-" * 72)
+    for title, code in _CUDA_EXAMPLES:
+        lines.append(f"// {title}")
+        lines.extend(code)
+        lines.append("")
+    lines.append("5.9 Translation checklist")
+    lines.append("-" * 72)
+    for item in _CUDA_CHECKLIST:
+        lines.append(f"* {item}")
+    lines.append("")
+    lines.append("5.10 Error codes")
+    lines.append("-" * 72)
+    for code, name, note in [
+        (0, "cudaSuccess", "the requested operation completed"),
+        (1, "cudaErrorInvalidValue",
+         "one or more parameters is outside the acceptable range"),
+        (2, "cudaErrorMemoryAllocation",
+         "the runtime could not allocate enough memory"),
+        (4, "cudaErrorCudartUnloading", "driver shutting down"),
+        (9, "cudaErrorInvalidConfiguration",
+         "the launch configuration exceeds device limits (e.g. more than "
+         "1024 threads per block)"),
+        (98, "cudaErrorInvalidDeviceFunction",
+         "the kernel image is not compatible with the device"),
+        (214, "cudaErrorECCUncorrectable", "uncorrectable memory error"),
+        (700, "cudaErrorIllegalAddress",
+         "a kernel accessed memory outside a valid allocation; the context "
+         "is corrupted and must be recreated"),
+        (701, "cudaErrorLaunchOutOfResources",
+         "too many registers or too much shared memory requested"),
+        (702, "cudaErrorLaunchTimeout",
+         "the kernel ran longer than the watchdog allows"),
+        (719, "cudaErrorLaunchFailure",
+         "an unspecified error during kernel execution"),
+    ]:
+        lines.append(f"  {code:4d}  {name}")
+        lines.append(f"        {note}")
+    lines.append("")
+    lines.append("5.11 Built-in variables and qualifiers index")
+    lines.append("-" * 72)
+    for name, note in [
+        ("__global__", "kernel function qualifier; callable from host via <<<>>>"),
+        ("__device__", "device function qualifier; callable from device code"),
+        ("__host__", "host function qualifier (default); combinable with __device__"),
+        ("__shared__", "block-shared storage qualifier"),
+        ("__restrict__", "no-alias hint on pointer parameters"),
+        ("threadIdx", "uint3 thread index within the block"),
+        ("blockIdx", "uint3 block index within the grid"),
+        ("blockDim", "dim3 threads per block"),
+        ("gridDim", "dim3 blocks per grid"),
+        ("warpSize", "int, 32 on all current hardware"),
+        ("cudaMemcpyHostToDevice", "memcpy kind: host source, device destination"),
+        ("cudaMemcpyDeviceToHost", "memcpy kind: device source, host destination"),
+        ("cudaMemcpyDeviceToDevice", "memcpy kind: both ends on the device"),
+        ("atomicAdd / atomicSub", "atomic arithmetic on global or shared words"),
+        ("atomicMax / atomicMin", "atomic extrema"),
+        ("atomicExch / atomicCAS", "atomic exchange and compare-and-swap"),
+        ("__syncthreads", "intra-block barrier and memory fence"),
+    ]:
+        lines.append(f"  {name}")
+        lines.append(f"    {note}")
+    lines.append("")
+    lines.append("5.12 Streams and asynchronous execution")
+    lines.append("-" * 72)
+    lines.append(
+        "A stream is a sequence of device operations that execute in issue "
+        "order; operations in different streams may overlap. Kernel launches "
+        "are asynchronous with respect to the host: control returns before "
+        "the kernel completes. cudaMemcpy is synchronous; cudaMemcpyAsync "
+        "enqueues the copy on a stream and requires pinned host memory for "
+        "true overlap. The default (null) stream synchronizes with all other "
+        "streams unless the device is in per-thread default stream mode."
+    )
+    for sig, note in [
+        ("cudaStreamCreate(&stream)", "creates an asynchronous stream"),
+        ("cudaStreamDestroy(stream)", "releases a stream after its work drains"),
+        ("cudaStreamSynchronize(stream)", "blocks the host until the stream drains"),
+        ("cudaMemcpyAsync(dst, src, bytes, kind, stream)",
+         "asynchronous copy; host buffer must be pinned for overlap"),
+        ("kernel<<<grid, block, sharedBytes, stream>>>(...)",
+         "launch on a specific stream with dynamic shared memory"),
+        ("cudaEventRecord(event, stream)", "timestamp marker in a stream"),
+        ("cudaEventElapsedTime(&ms, start, stop)",
+         "milliseconds between two recorded events"),
+    ]:
+        lines.append(f"  {sig}")
+        lines.append(f"    {note}")
+    lines.append("")
+    lines.append("5.13 Unified and pinned memory")
+    lines.append("-" * 72)
+    lines.append(
+        "cudaMallocManaged allocates memory accessible from both host and "
+        "device with on-demand migration; convenient but migrations can "
+        "dominate runtimes for ping-pong access patterns, so explicit "
+        "cudaMalloc plus cudaMemcpy staging remains the predictable choice "
+        "for benchmark translation. cudaMallocHost allocates pinned "
+        "(page-locked) host memory, roughly doubling effective PCIe copy "
+        "bandwidth and enabling async copies. cudaHostRegister pins an "
+        "existing allocation. Always pair cudaMallocHost with cudaFreeHost."
+    )
+    lines.append("")
+    lines.append("5.14 Device limits by compute capability")
+    lines.append("-" * 72)
+    header = (
+        "capability", "max threads/block", "max block dim x",
+        "max grid dim x", "shared mem/block", "registers/thread",
+    )
+    lines.append("  " + " | ".join(header))
+    for row in [
+        ("3.5 (Kepler)", "1024", "1024", "2^31-1", "48 KB", "255"),
+        ("5.2 (Maxwell)", "1024", "1024", "2^31-1", "48 KB", "255"),
+        ("6.0 (Pascal)", "1024", "1024", "2^31-1", "48 KB", "255"),
+        ("7.0 (Volta)", "1024", "1024", "2^31-1", "96 KB", "255"),
+        ("7.5 (Turing)", "1024", "1024", "2^31-1", "64 KB", "255"),
+        ("8.0 (Ampere A100)", "1024", "1024", "2^31-1", "164 KB", "255"),
+        ("8.6 (Ampere)", "1024", "1024", "2^31-1", "100 KB", "255"),
+        ("9.0 (Hopper)", "1024", "1024", "2^31-1", "228 KB", "255"),
+    ]:
+        lines.append("  " + " | ".join(row))
+    lines.append("")
+    lines.append(
+        "Occupancy notes: the A100 (compute capability 8.0) schedules up to "
+        "2048 resident threads per SM across 108 SMs, i.e. ~221k threads at "
+        "full occupancy. Launches much smaller than this leave compute and "
+        "bandwidth unsaturated; launches of one block, or one thread per "
+        "block, serialize almost completely. Choose the grid so that "
+        "gridDim.x * blockDim.x covers the problem with the bounds guard "
+        "handling the remainder, and prefer several blocks per SM so the "
+        "scheduler can hide memory latency. Kernel launch overhead is a few "
+        "microseconds; amortize it by batching work per launch rather than "
+        "launching per element. Host-device transfers over PCIe cost "
+        "roughly 10 microseconds of latency plus time proportional to the "
+        "payload; the bandwidth is an order of magnitude below HBM "
+        "bandwidth, so data staged once should be reused by as many "
+        "kernels as possible before being copied back."
+    )
+    return "\n".join(lines)
+
+
+_CACHE = {}
+
+
+def knowledge_document(target: Dialect) -> str:
+    """The knowledge document injected for translations INTO ``target``.
+
+    Mirrors §III-B: translating to CUDA injects the CUDA guide chapter;
+    translating to OpenMP injects the OpenMP reference card.
+    """
+    if target not in _CACHE:
+        if target is Dialect.OMP:
+            _CACHE[target] = _render_omp_card()
+        elif target is Dialect.CUDA:
+            _CACHE[target] = _render_cuda_guide()
+        else:
+            raise ValueError(f"no knowledge document for {target}")
+    return _CACHE[target]

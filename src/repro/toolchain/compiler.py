@@ -1,0 +1,114 @@
+"""Simulated compiler drivers ("nvcc" and "clang++ -fopenmp").
+
+Compilation = lex + parse + semantic analysis of the mini-language.  The
+driver renders accumulated diagnostics into conventional compiler stderr;
+LASSI's compile self-correction loop (§III-D1 of the paper) splices exactly
+this text into its correction prompt, so fidelity of the message text is a
+functional requirement, not cosmetics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.minilang import analyze, parse
+from repro.minilang.ast import Program
+from repro.minilang.diagnostics import DiagnosticBag, Severity
+from repro.minilang.source import Dialect, SourceFile
+
+
+@dataclass
+class CompileResult:
+    """Outcome of one compiler invocation."""
+
+    ok: bool
+    stderr: str
+    command: str
+    source: SourceFile
+    program: Optional[Program] = None
+    diagnostics: Optional[DiagnosticBag] = None
+
+    @property
+    def error_codes(self):
+        if self.diagnostics is None:
+            return []
+        return [d.code for d in self.diagnostics.errors]
+
+    @property
+    def warning_count(self) -> int:
+        if self.diagnostics is None:
+            return 0
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+
+@dataclass(frozen=True)
+class CompilerDriver:
+    """One toolchain: a command template plus the dialect it accepts."""
+
+    name: str
+    dialect: Dialect
+    command_template: str
+
+    def command(self, filename: str) -> str:
+        return self.command_template.format(src=filename, out=_binary_name(filename))
+
+    def compile(self, source_text: str, filename: Optional[str] = None) -> CompileResult:
+        """'Compile' source text; diagnostics become compiler stderr."""
+        fname = filename or ("code" + self.dialect.file_extension)
+        source = SourceFile(fname, source_text, self.dialect)
+        command = self.command(fname)
+
+        program, parse_diags = parse(source)
+        bag = DiagnosticBag()
+        bag.extend(parse_diags)
+        if not parse_diags.has_errors:
+            sema = analyze(program, self.dialect)
+            bag.extend(sema.diagnostics)
+
+        ok = not bag.has_errors
+        stderr = bag.render(source)
+        return CompileResult(
+            ok=ok,
+            stderr=stderr,
+            command=command,
+            source=source,
+            program=program if ok else None,
+            diagnostics=bag,
+        )
+
+
+def _binary_name(filename: str) -> str:
+    stem = filename.rsplit("/", 1)[-1]
+    for ext in (".cu", ".cpp", ".c", ".cxx"):
+        if stem.endswith(ext):
+            return stem[: -len(ext)]
+    return stem + ".out"
+
+
+#: The paper compiles CUDA with nvcc on the A100 host.
+CUDA_COMPILER = CompilerDriver(
+    name="nvcc",
+    dialect=Dialect.CUDA,
+    command_template="nvcc -O3 -arch=sm_80 -o {out} {src}",
+)
+
+#: ...and OpenMP target offload with clang.
+OMP_COMPILER = CompilerDriver(
+    name="clang++",
+    dialect=Dialect.OMP,
+    command_template=(
+        "clang++ -O3 -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda -o {out} {src}"
+    ),
+)
+
+
+def compiler_for(dialect: Dialect) -> CompilerDriver:
+    """The platform compiler for a dialect (mirrors the paper's setup)."""
+    if dialect is Dialect.CUDA:
+        return CUDA_COMPILER
+    if dialect is Dialect.OMP:
+        return OMP_COMPILER
+    return CompilerDriver(
+        name="g++", dialect=Dialect.C, command_template="g++ -O3 -o {out} {src}"
+    )

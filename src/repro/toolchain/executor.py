@@ -1,0 +1,80 @@
+"""Program execution on the simulated platform.
+
+Wraps :class:`repro.interp.ProgramRunner` and the performance model into the
+shape LASSI needs: run a compiled program with given runtime args, capture
+stdout/stderr, and report the simulated wall-clock.  Guest faults never
+raise — they come back as a populated ``stderr`` + non-zero exit code, the
+signal the execution self-correction loop (§III-D2) feeds to the LLM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.gpu import PerformanceModel
+from repro.gpu.perfmodel import TimeBreakdown
+from repro.gpu.stats import ExecutionProfile
+from repro.interp import Limits, ProgramRunner
+from repro.minilang.ast import Program
+from repro.minilang.source import Dialect
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated program execution."""
+
+    ok: bool
+    stdout: str
+    stderr: str
+    exit_code: int
+    #: Simulated wall-clock seconds from the performance model.
+    runtime_seconds: float
+    profile: Optional[ExecutionProfile] = None
+    breakdown: Optional[TimeBreakdown] = None
+    args: List[str] = field(default_factory=list)
+
+
+class Executor:
+    """Runs compiled programs on the simulated A100 platform."""
+
+    def __init__(
+        self,
+        perf_model: Optional[PerformanceModel] = None,
+        limits: Optional[Limits] = None,
+    ) -> None:
+        self.perf_model = perf_model or PerformanceModel()
+        self.limits = limits
+
+    def run(
+        self,
+        program: Program,
+        dialect: Dialect,
+        args: Optional[Sequence[str]] = None,
+        work_scale: float = 1.0,
+        launch_scale: Optional[float] = None,
+    ) -> ExecutionResult:
+        """Execute ``program`` with ``args``; never raises for guest faults."""
+        runner = ProgramRunner(program, dialect, limits=self.limits)
+        outcome = runner.run(list(args or []))
+
+        stderr = ""
+        ok = outcome.error is None and outcome.exit_code == 0
+        if outcome.error is not None:
+            stderr = outcome.error
+            if outcome.error_detail:
+                stderr += f"\n[detail] {outcome.error_detail}"
+        elif outcome.exit_code != 0:
+            stderr = f"process exited with non-zero status {outcome.exit_code}"
+
+        breakdown = self.perf_model.breakdown(outcome.profile, work_scale, launch_scale)
+        return ExecutionResult(
+            ok=ok,
+            stdout=outcome.stdout,
+            stderr=stderr,
+            exit_code=outcome.exit_code,
+            runtime_seconds=breakdown.total,
+            profile=outcome.profile,
+            breakdown=breakdown,
+            args=list(args or []),
+        )

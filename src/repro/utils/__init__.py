@@ -1,0 +1,24 @@
+"""Shared utilities: deterministic RNG streams, text/token helpers, tables."""
+
+from repro.utils.rng import RngStream, derive_seed
+from repro.utils.text import (
+    dedent_code,
+    extract_code_block,
+    normalize_stdout,
+    strip_comments,
+)
+from repro.utils.tokens import count_tokens, tokenize_code, tokenize_text
+from repro.utils.tables import render_table
+
+__all__ = [
+    "RngStream",
+    "derive_seed",
+    "dedent_code",
+    "extract_code_block",
+    "normalize_stdout",
+    "strip_comments",
+    "count_tokens",
+    "tokenize_code",
+    "tokenize_text",
+    "render_table",
+]

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them in aligned ASCII so `pytest benchmarks/ -s` output can be
+diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def _fmt_cell(value: object) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    aligns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cell values; ``None`` renders as ``N/A``, floats as 4 decimals.
+    title:
+        Optional title line above the table.
+    aligns:
+        Per-column ``"l"`` or ``"r"``; defaults to left for the first column
+        and right for the rest (the convention of the paper's tables).
+    """
+    str_rows: List[List[str]] = [[_fmt_cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (ncols - 1)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            if aligns[c] == "r":
+                parts.append(cell.rjust(widths[c]))
+            else:
+                parts.append(cell.ljust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

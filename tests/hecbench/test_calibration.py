@@ -1,0 +1,62 @@
+"""Tests for the Table IV scale-factor calibration machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hecbench import all_apps, get_app
+from repro.hecbench.calibration import (
+    breakdown_components,
+    measure_components,
+    solve_scales,
+)
+from repro.minilang.source import Dialect
+
+
+class TestComponents:
+    def test_components_positive(self):
+        comps = measure_components(get_app("layout"))
+        for dialect in (Dialect.CUDA, Dialect.OMP):
+            work, launch = comps[dialect]
+            assert work > 0
+            assert launch > 0
+
+
+class TestSolveScales:
+    def test_baked_scales_still_solve(self):
+        """Guards against perf-model drift: re-deriving the scales must land
+        close to the values baked into the specs."""
+        for app in all_apps():
+            r = solve_scales(app)
+            assert r.work_scale == pytest.approx(app.work_scale, rel=0.05), app.name
+            assert r.launch_scale == pytest.approx(app.launch_scale, rel=0.05), app.name
+
+    def test_cuda_prediction_exact_for_all_apps(self):
+        for app in all_apps():
+            r = solve_scales(app)
+            assert r.predicted_cuda == pytest.approx(
+                app.paper_runtime_cuda, rel=0.01
+            ), app.name
+
+    def test_exact_rows(self):
+        # These rows admit a positive 2x2 solution: both columns exact.
+        for name in ("atomicCost", "pathfinder", "entropy", "colorwheel",
+                     "randomAccess"):
+            r = solve_scales(get_app(name))
+            assert r.exact, name
+            assert r.predicted_omp == pytest.approx(
+                get_app(name).paper_runtime_omp, rel=0.01
+            )
+
+    def test_alpha_override_used_for_bsearch(self):
+        r = solve_scales(get_app("bsearch"))
+        assert not r.exact
+        # work-heavy mix: work term dominates the OMP runtime
+        assert r.work_scale > 100
+
+    def test_missing_targets_rejected(self):
+        from dataclasses import replace
+
+        app = replace(get_app("layout"), paper_runtime_cuda=None)
+        with pytest.raises(ValueError):
+            solve_scales(app)

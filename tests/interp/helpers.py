@@ -1,0 +1,26 @@
+"""Helpers for interpreter tests: parse+analyze+run a source snippet."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.interp import Limits, ProgramRunner, RunOutcome
+from repro.minilang import analyze, parse
+from repro.minilang.source import Dialect, SourceFile
+
+
+def run_source(
+    text: str,
+    dialect: Dialect = Dialect.C,
+    argv: Optional[List[str]] = None,
+    limits: Optional[Limits] = None,
+    expect_clean_compile: bool = True,
+) -> RunOutcome:
+    sf = SourceFile("test", text, dialect)
+    program, diags = parse(sf)
+    if expect_clean_compile:
+        assert not diags.has_errors, diags.render(sf)
+        res = analyze(program, dialect)
+        assert res.ok, res.diagnostics.render(sf)
+    runner = ProgramRunner(program, dialect, limits=limits)
+    return runner.run(argv or [])

@@ -1,0 +1,146 @@
+"""Unit tests for the guest memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GuestRuntimeError
+from repro.interp.memory import Buffer, MemoryManager, Pointer
+from repro.minilang import types as ty
+
+
+class TestAlloc:
+    def test_alloc_sizes_and_types(self):
+        mm = MemoryManager()
+        p = mm.alloc(40, ty.FLOAT, "host")
+        assert p.buf.length == 10
+        assert p.buf.elem_bytes == 4
+        assert p.buf.is_float
+        assert p.buf.cells == [0.0] * 10
+
+    def test_int_buffer_zero_init(self):
+        mm = MemoryManager()
+        p = mm.alloc(16, ty.INT, "device")
+        assert p.buf.cells == [0, 0, 0, 0]
+        assert p.buf.space == "device"
+
+    def test_negative_size_faults(self):
+        mm = MemoryManager()
+        with pytest.raises(GuestRuntimeError):
+            mm.alloc(-8, ty.INT, "host")
+
+    def test_memory_limit_host(self):
+        mm = MemoryManager()
+        mm.byte_limit = 1024
+        with pytest.raises(GuestRuntimeError) as exc:
+            mm.alloc(2048, ty.CHAR, "host")
+        assert "bad_alloc" in str(exc.value)
+
+    def test_memory_limit_device(self):
+        mm = MemoryManager()
+        mm.byte_limit = 1024
+        with pytest.raises(GuestRuntimeError) as exc:
+            mm.alloc(2048, ty.CHAR, "device")
+        assert "out of memory" in str(exc.value)
+
+    def test_free_accounting(self):
+        mm = MemoryManager()
+        p = mm.alloc(100, ty.CHAR, "host")
+        assert mm.host_bytes == 100
+        mm.free(p, "host")
+        assert mm.host_bytes == 0
+
+    def test_free_wrong_space(self):
+        mm = MemoryManager()
+        p = mm.alloc(8, ty.INT, "device")
+        with pytest.raises(GuestRuntimeError):
+            mm.free(p, "host")
+
+
+class TestAccessChecks:
+    def test_host_access_to_device_buffer(self):
+        mm = MemoryManager()
+        p = mm.alloc(8, ty.INT, "device")
+        with pytest.raises(GuestRuntimeError) as exc:
+            MemoryManager.check_access(p.buf, 0, device=False)
+        assert "Segmentation fault" in str(exc.value)
+
+    def test_device_access_to_unmapped_host_buffer(self):
+        mm = MemoryManager()
+        p = mm.alloc(8, ty.INT, "host")
+        with pytest.raises(GuestRuntimeError) as exc:
+            MemoryManager.check_access(p.buf, 0, device=True)
+        assert "illegal memory access" in str(exc.value)
+
+    def test_bounds(self):
+        mm = MemoryManager()
+        p = mm.alloc(8, ty.INT, "host")
+        MemoryManager.check_access(p.buf, 1, device=False)  # ok
+        with pytest.raises(GuestRuntimeError):
+            MemoryManager.check_access(p.buf, 2, device=False)
+        with pytest.raises(GuestRuntimeError):
+            MemoryManager.check_access(p.buf, -1, device=False)
+
+    def test_use_after_free(self):
+        mm = MemoryManager()
+        p = mm.alloc(8, ty.INT, "host")
+        mm.free(p, "host")
+        with pytest.raises(GuestRuntimeError):
+            MemoryManager.check_access(p.buf, 0, device=False)
+
+
+class TestMapping:
+    def test_map_to_copies_in(self):
+        mm = MemoryManager()
+        p = mm.alloc(16, ty.INT, "host")
+        p.buf.cells[:] = [1, 2, 3, 4]
+        moved = mm.map_enter(p.buf, "to")
+        assert moved == 16
+        assert p.buf.shadow.cells == [1, 2, 3, 4]
+        assert mm.map_exit(p.buf) == 0  # 'to' does not copy out
+
+    def test_map_from_copies_out_only(self):
+        mm = MemoryManager()
+        p = mm.alloc(16, ty.INT, "host")
+        p.buf.cells[:] = [9, 9, 9, 9]
+        assert mm.map_enter(p.buf, "from") == 0
+        assert p.buf.shadow.cells == [0, 0, 0, 0]  # uninitialized device copy
+        p.buf.shadow.cells[:] = [5, 6, 7, 8]
+        assert mm.map_exit(p.buf) == 16
+        assert p.buf.cells == [5, 6, 7, 8]
+
+    def test_nested_maps_refcounted(self):
+        mm = MemoryManager()
+        p = mm.alloc(16, ty.INT, "host")
+        assert mm.map_enter(p.buf, "tofrom") == 16
+        assert mm.map_enter(p.buf, "tofrom") == 0  # already present
+        assert mm.map_exit(p.buf) == 0
+        assert p.buf.shadow is not None
+        assert mm.map_exit(p.buf) == 16
+        assert p.buf.shadow is None
+
+    def test_device_access_redirected_to_shadow(self):
+        mm = MemoryManager()
+        p = mm.alloc(16, ty.INT, "host")
+        mm.map_enter(p.buf, "to")
+        target = MemoryManager.check_access(p.buf, 0, device=True)
+        assert target is p.buf.shadow
+
+
+class TestPointer:
+    def test_offset_and_equality(self):
+        buf = Buffer(10, 4, False, "host")
+        a = Pointer(buf, 2)
+        b = a.offset_by(3)
+        assert b.off == 5
+        assert a == Pointer(buf, 2)
+        assert a != b
+        assert a != None  # noqa: E711 - NULL comparison semantics
+
+    def test_read_string(self):
+        buf = Buffer(4, 8, False, "host")
+        buf.cells[0] = "hello"
+        assert Pointer(buf, 0).read_string() == "hello"
+        buf2 = Buffer(4, 1, False, "host")
+        buf2.cells[:3] = [104, 105, 0]
+        assert Pointer(buf2, 0).read_string() == "hi"

@@ -1,0 +1,88 @@
+"""Unit tests for C-semantics value helpers and printf."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GuestRuntimeError
+from repro.interp.values import c_div, c_mod, c_printf, truthy
+
+
+class TestCDiv:
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_c_truncation(self, a, b):
+        if b == 0:
+            with pytest.raises(GuestRuntimeError):
+                c_div(a, b)
+        else:
+            q = c_div(a, b)
+            assert q == int(a / b)  # trunc toward zero
+
+    def test_float_semantics(self):
+        assert c_div(1.0, 0.0) == math.inf
+        assert c_div(-1.0, 0.0) == -math.inf
+        assert math.isnan(c_div(0.0, 0.0))
+        assert c_div(7.0, 2.0) == 3.5
+
+
+class TestCMod:
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_sign_of_dividend_and_identity(self, a, b):
+        if b == 0:
+            with pytest.raises(GuestRuntimeError):
+                c_mod(a, b)
+        else:
+            r = c_mod(a, b)
+            assert a == c_div(a, b) * b + r  # C identity
+            if r != 0:
+                assert (r > 0) == (a > 0)
+
+    def test_float_fmod(self):
+        assert c_mod(7.5, 2.0) == pytest.approx(1.5)
+        assert math.isnan(c_mod(1.0, 0.0))
+
+
+class TestTruthy:
+    def test_null_pointer_false(self):
+        assert not truthy(None)
+
+    def test_numbers(self):
+        assert truthy(1) and truthy(-1) and truthy(0.5)
+        assert not truthy(0) and not truthy(0.0)
+
+
+class TestPrintf:
+    def test_basic_conversions(self):
+        assert c_printf("%d %f %s", [3, 1.5, "x"]) == "3 1.500000 x"
+
+    def test_width_precision_flags(self):
+        assert c_printf("[%06.2f]", [3.14159]) == "[003.14]"
+        assert c_printf("[%-4d]", [7]) == "[7   ]"
+
+    def test_unsigned_wraps(self):
+        assert c_printf("%u", [-1]) == "4294967295"
+
+    def test_hex(self):
+        assert c_printf("%x %X", [255, 255]) == "ff FF"
+
+    def test_char_from_int(self):
+        assert c_printf("%c", [65]) == "A"
+
+    def test_percent_escape_consumes_no_args(self):
+        assert c_printf("100%%", []) == "100%"
+
+    def test_missing_arg_faults(self):
+        with pytest.raises(GuestRuntimeError):
+            c_printf("%d %d", [1])
+
+    def test_long_modifier_stripped(self):
+        assert c_printf("%ld %lu", [10, 10]) == "10 10"
+
+    def test_g_and_e(self):
+        assert c_printf("%e", [12345.678]) == "1.234568e+04"
+        assert c_printf("%g", [0.0001]) == "0.0001"

@@ -1,0 +1,156 @@
+"""Tests for the fault catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hecbench import get_app
+from repro.llm.faults import FAULTS, faults_for, get_fault
+from repro.llm.transpiler import Transpiler
+from repro.minilang.source import Dialect
+from repro.toolchain import Executor, compiler_for
+
+
+@pytest.fixture(scope="module")
+def cuda_code():
+    app = get_app("matrix-rotate")
+    return Transpiler().translate(app.omp_source, Dialect.OMP, Dialect.CUDA)
+
+
+@pytest.fixture(scope="module")
+def omp_code():
+    app = get_app("matrix-rotate")
+    return Transpiler().translate(app.cuda_source, Dialect.CUDA, Dialect.OMP)
+
+
+class TestCatalogue:
+    def test_registry_lookup(self):
+        assert get_fault("missing-semicolon").stage == "compile"
+        with pytest.raises(KeyError):
+            get_fault("no-such-fault")
+
+    def test_faults_for_filters_dialect_and_stage(self):
+        cuda_compile = faults_for(Dialect.CUDA, "compile")
+        assert all(f.stage == "compile" for f in cuda_compile)
+        assert all(
+            f.dialect in (None, Dialect.CUDA) for f in cuda_compile
+        )
+        assert any(f.fault_id == "kernel-called-directly" for f in cuda_compile)
+        omp_all = faults_for(Dialect.OMP)
+        assert not any(f.fault_id == "kernel-called-directly" for f in omp_all)
+
+    def test_every_fault_has_description(self):
+        for fault in FAULTS.values():
+            assert fault.description
+            assert fault.stage in ("compile", "runtime", "output", "perf")
+
+
+def _compile_and_run(code, dialect, app):
+    cr = compiler_for(dialect).compile(code)
+    if not cr.ok:
+        return cr, None
+    run = Executor().run(cr.program, dialect, app.args)
+    return cr, run
+
+
+class TestCompileFaults:
+    @pytest.mark.parametrize("fault_id", [
+        "undeclared-index-cuda", "missing-semicolon",
+        "kernel-called-directly", "missing-launch-arg",
+        "missing-device-decl",
+    ])
+    def test_cuda_compile_faults_break_compilation_with_signature(
+        self, fault_id, cuda_code
+    ):
+        app = get_app("matrix-rotate")
+        fault = get_fault(fault_id)
+        broken = fault.apply(cuda_code)
+        assert broken is not None, f"{fault_id} should apply"
+        cr, _ = _compile_and_run(broken, Dialect.CUDA, app)
+        assert not cr.ok
+        assert any(sig in cr.stderr for sig in fault.error_signature), (
+            fault_id, cr.stderr
+        )
+
+    @pytest.mark.parametrize("fault_id", [
+        "undeclared-index-omp", "cuda-api-in-omp", "bad-directive-spelling",
+    ])
+    def test_omp_compile_faults(self, fault_id, omp_code):
+        app = get_app("matrix-rotate")
+        fault = get_fault(fault_id)
+        broken = fault.apply(omp_code)
+        assert broken is not None
+        cr, _ = _compile_and_run(broken, Dialect.OMP, app)
+        assert not cr.ok
+        assert any(sig in cr.stderr for sig in fault.error_signature)
+
+
+class TestRuntimeFaults:
+    def test_oob_guard_cuda_triggers_illegal_access(self):
+        # pathfinder: cols=160 does not divide the 128-thread block evenly,
+        # so the <= guard lets an out-of-range thread through.
+        app = get_app("pathfinder")
+        code = Transpiler().translate(app.omp_source, Dialect.OMP, Dialect.CUDA)
+        fault = get_fault("oob-guard-cuda")
+        broken = fault.apply(code)
+        assert broken is not None
+        cr, run = _compile_and_run(broken, Dialect.CUDA, app)
+        assert cr.ok
+        assert not run.ok
+        assert "illegal memory access" in run.stderr
+
+    def test_missing_cudamalloc_faults_at_runtime(self, cuda_code):
+        app = get_app("matrix-rotate")
+        broken = get_fault("missing-cudamalloc").apply(cuda_code)
+        cr, run = _compile_and_run(broken, Dialect.CUDA, app)
+        assert cr.ok
+        assert not run.ok
+
+
+class TestOutputFaults:
+    def test_missing_copyback_changes_output_silently(self, cuda_code):
+        app = get_app("matrix-rotate")
+        broken = get_fault("missing-copyback-cuda").apply(cuda_code)
+        assert broken is not None
+        cr, run = _compile_and_run(broken, Dialect.CUDA, app)
+        assert cr.ok and run.ok  # silent wrong answer
+        cr2, good = _compile_and_run(cuda_code, Dialect.CUDA, app)
+        assert run.stdout != good.stdout
+
+
+class TestPerfFaults:
+    def test_weak_parallelism_slows_down_without_changing_output(self):
+        from repro.llm.transpiler import TranspileOptions
+
+        app = get_app("bsearch")
+        # Hoisted translation (single pass) so the loop compute, not the
+        # region overhead, is the baseline the fault degrades.
+        code = Transpiler(
+            TranspileOptions(hoist_invariant_repeat=True)
+        ).translate(app.cuda_source, Dialect.CUDA, Dialect.OMP)
+        broken = get_fault("weak-parallelism-omp").apply(code)
+        assert broken is not None
+        ex = Executor()
+        good_cr, _ = _compile_and_run(code, Dialect.OMP, app)
+        bad_cr, _ = _compile_and_run(broken, Dialect.OMP, app)
+        good = ex.run(good_cr.program, Dialect.OMP, app.args,
+                      work_scale=app.work_scale, launch_scale=app.launch_scale)
+        bad = ex.run(bad_cr.program, Dialect.OMP, app.args,
+                     work_scale=app.work_scale, launch_scale=app.launch_scale)
+        assert bad.stdout == good.stdout
+        assert bad.runtime_seconds > 5 * good.runtime_seconds
+
+    def test_tiny_block_slows_compute_kernels(self):
+        app = get_app("entropy")
+        code = Transpiler().translate(app.omp_source, Dialect.OMP, Dialect.CUDA)
+        broken = get_fault("tiny-block-cuda").apply(code)
+        assert broken is not None
+        ex = Executor()
+        good_cr, _ = _compile_and_run(code, Dialect.CUDA, app)
+        bad_cr, _ = _compile_and_run(broken, Dialect.CUDA, app)
+        good = ex.run(good_cr.program, Dialect.CUDA, app.args,
+                      work_scale=app.work_scale, launch_scale=app.launch_scale)
+        bad = ex.run(bad_cr.program, Dialect.CUDA, app.args,
+                     work_scale=app.work_scale, launch_scale=app.launch_scale)
+        assert bad.stdout == good.stdout
+        assert bad.runtime_seconds > good.runtime_seconds

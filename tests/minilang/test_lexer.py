@@ -1,0 +1,100 @@
+"""Tests for the mini-language lexer."""
+
+from __future__ import annotations
+
+from repro.minilang.diagnostics import DiagnosticBag
+from repro.minilang.lexer import Lexer, TokenKind
+
+
+def lex_all(src: str, cuda: bool = False):
+    bag = DiagnosticBag()
+    toks = Lexer(src, bag, cuda_launch_syntax=cuda).tokens()
+    return toks, bag
+
+
+def texts(src: str, cuda: bool = False):
+    toks, _ = lex_all(src, cuda)
+    return [t.text for t in toks[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        toks, _ = lex_all("int foo;")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+        assert toks[1].text == "foo"
+
+    def test_int_and_float_literals(self):
+        toks, _ = lex_all("42 3.14 1e5 0x1F 2.5f 10u")
+        kinds = [t.kind for t in toks[:-1]]
+        assert kinds == [
+            TokenKind.INT_LIT, TokenKind.FLOAT_LIT, TokenKind.FLOAT_LIT,
+            TokenKind.INT_LIT, TokenKind.FLOAT_LIT, TokenKind.INT_LIT,
+        ]
+
+    def test_string_with_escape(self):
+        toks, bag = lex_all(r'"a\nb"')
+        assert not bag.has_errors
+        assert toks[0].kind is TokenKind.STRING_LIT
+
+    def test_char_literal(self):
+        toks, _ = lex_all("'x' '\\n'")
+        assert [t.kind for t in toks[:-1]] == [TokenKind.CHAR_LIT, TokenKind.CHAR_LIT]
+
+    def test_multichar_operators(self):
+        assert texts("a <<= b >>= c == d != e <= f >= g && h || i ++ --") == [
+            "a", "<<=", "b", ">>=", "c", "==", "d", "!=", "e", "<=", "f",
+            ">=", "g", "&&", "h", "||", "i", "++", "--",
+        ]
+
+    def test_line_and_block_comments_skipped(self):
+        assert texts("a // comment\nb /* block */ c") == ["a", "b", "c"]
+
+    def test_unterminated_block_comment_diagnosed(self):
+        _, bag = lex_all("a /* never")
+        assert bag.has_errors
+
+    def test_unterminated_string_diagnosed(self):
+        _, bag = lex_all('"abc')
+        assert any(d.code == "unterminated-string" for d in bag.errors)
+
+    def test_line_col_tracking(self):
+        toks, _ = lex_all("a\n  b")
+        assert (toks[0].span.line, toks[0].span.col) == (1, 1)
+        assert (toks[1].span.line, toks[1].span.col) == (2, 3)
+
+    def test_invalid_character_reported_and_skipped(self):
+        toks, bag = lex_all("a @ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+        assert any(d.code == "invalid-character" for d in bag.errors)
+
+
+class TestCudaLaunchSyntax:
+    def test_launch_delimiters_in_cuda_mode(self):
+        assert "<<<" in texts("k<<<1, 2>>>()", cuda=True)
+
+    def test_no_launch_delimiters_in_c_mode(self):
+        toks = texts("a <<< b")
+        assert "<<<" not in toks
+        assert "<<" in toks
+
+
+class TestDirectives:
+    def test_pragma_captured_whole(self):
+        toks, _ = lex_all("#pragma omp parallel for\nint x;")
+        assert toks[0].kind is TokenKind.PRAGMA
+        assert toks[0].text == "#pragma omp parallel for"
+
+    def test_pragma_with_continuation(self):
+        toks, _ = lex_all("#pragma omp target \\\n  map(to: a)\nx;")
+        assert toks[0].kind is TokenKind.PRAGMA
+        assert "map(to: a)" in toks[0].text
+
+    def test_include_skipped(self):
+        toks, bag = lex_all("#include <stdio.h>\nint x;")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert not bag.has_errors
+
+    def test_unknown_directive_diagnosed(self):
+        _, bag = lex_all("#warning hello\nint x;")
+        assert any(d.code == "unknown-directive" for d in bag.errors)

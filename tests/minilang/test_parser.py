@@ -1,0 +1,302 @@
+"""Tests for the mini-language parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minilang import ast, parse
+from repro.minilang.source import Dialect, SourceFile
+
+
+def parse_ok(text: str, dialect: Dialect = Dialect.C) -> ast.Program:
+    program, diags = parse(SourceFile("test", text, dialect))
+    assert not diags.has_errors, diags.render()
+    return program
+
+
+def parse_err(text: str, dialect: Dialect = Dialect.C):
+    _, diags = parse(SourceFile("test", text, dialect))
+    assert diags.has_errors
+    return diags
+
+
+class TestDeclarations:
+    def test_function_with_params(self):
+        p = parse_ok("int add(int a, int b) { return a + b; }")
+        fn = p.function("add")
+        assert fn is not None
+        assert [param.name for param in fn.params] == ["a", "b"]
+
+    def test_global_variable(self):
+        p = parse_ok("int counter = 0;\nint main() { return 0; }")
+        assert p.globals[0].decl.name == "counter"
+
+    def test_pointer_types(self):
+        p = parse_ok("void f(float* a, char** argv) {}")
+        fn = p.function("f")
+        assert fn.params[0].type.pointers == 1
+        assert fn.params[1].type.pointers == 2
+
+    def test_local_array_declaration(self):
+        p = parse_ok("void f() { int buf[256]; }")
+        decl = p.function("f").body.stmts[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.array_size is not None
+
+    def test_forward_declaration_then_definition(self):
+        p = parse_ok("int f(int x);\nint f(int x) { return x; }\nint main() { return f(1); }")
+        assert len([fn for fn in p.functions if fn.name == "f"]) == 2
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        p = parse_ok("void f(int x) { if (x > 0) { x = 1; } else if (x < 0) { x = 2; } else { x = 3; } }")
+        stmt = p.function("f").body.stmts[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.other, ast.If)
+
+    def test_for_loop_parts(self):
+        p = parse_ok("void f() { for (int i = 0; i < 10; i++) { } }")
+        loop = p.function("f").body.stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert loop.cond is not None and loop.step is not None
+
+    def test_infinite_for(self):
+        p = parse_ok("void f() { for (;;) { break; } }")
+        loop = p.function("f").body.stmts[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_while_and_do_while(self):
+        p = parse_ok("void f(int x) { while (x > 0) x--; do { x++; } while (x < 5); }")
+        body = p.function("f").body.stmts
+        assert isinstance(body[0], ast.While)
+        assert isinstance(body[1], ast.DoWhile)
+
+    def test_break_continue_return(self):
+        p = parse_ok("int f() { for (;;) { if (1) break; continue; } return 3; }")
+        assert p.function("f") is not None
+
+    def test_empty_statement(self):
+        parse_ok("void f() { ; }")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        p = parse_ok("int f() { return 1 + 2 * 3; }")
+        ret = p.function("f").body.stmts[0]
+        assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+        assert isinstance(ret.value.right, ast.Binary) and ret.value.right.op == "*"
+
+    def test_ternary(self):
+        p = parse_ok("int f(int x) { return x > 0 ? 1 : 2; }")
+        assert isinstance(p.function("f").body.stmts[0].value, ast.Ternary)
+
+    def test_assignment_right_associative(self):
+        p = parse_ok("void f(int a, int b) { a = b = 1; }")
+        expr = p.function("f").body.stmts[0].expr
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        p = parse_ok("void f(int a) { a += 2; a <<= 1; }")
+        assert p.function("f").body.stmts[0].expr.op == "+="
+
+    def test_cast_expression(self):
+        p = parse_ok("void f() { float* p = (float*)malloc(8); }")
+        decl = p.function("f").body.stmts[0]
+        assert isinstance(decl.init, ast.Cast)
+        assert decl.init.type.pointers == 1
+
+    def test_sizeof(self):
+        p = parse_ok("void f() { int s = sizeof(float); }")
+        assert isinstance(p.function("f").body.stmts[0].init, ast.SizeOf)
+
+    def test_address_of_and_deref(self):
+        p = parse_ok("void f(int* p, int x) { p = &x; x = *p; }")
+        stmts = p.function("f").body.stmts
+        assert isinstance(stmts[0].expr.value, ast.Unary) and stmts[0].expr.value.op == "&"
+
+    def test_member_access(self):
+        p = parse_ok(
+            "__global__ void k() { int i = threadIdx.x; }", Dialect.CUDA
+        )
+        decl = p.function("k").body.stmts[0]
+        assert isinstance(decl.init, ast.Member)
+        assert decl.init.field_name == "x"
+
+    def test_postfix_increment(self):
+        p = parse_ok("void f(int i) { i++; }")
+        assert isinstance(p.function("f").body.stmts[0].expr, ast.Postfix)
+
+    def test_nested_index(self):
+        p = parse_ok("void f(float* a, int* idx, int i) { float x = a[idx[i]]; }")
+        init = p.function("f").body.stmts[0].init
+        assert isinstance(init, ast.Index)
+        assert isinstance(init.index, ast.Index)
+
+
+class TestCudaSyntax:
+    def test_kernel_qualifier(self):
+        p = parse_ok("__global__ void k(int* p) { p[0] = 1; }", Dialect.CUDA)
+        assert p.function("k").is_kernel
+
+    def test_device_function(self):
+        p = parse_ok("__device__ int f(int x) { return x * 2; }", Dialect.CUDA)
+        assert p.function("f").is_device
+
+    def test_launch_expression(self):
+        p = parse_ok(
+            "__global__ void k(int n) {}\n"
+            "void host(int n) { k<<<(n + 255) / 256, 256>>>(n); }",
+            Dialect.CUDA,
+        )
+        launch = p.function("host").body.stmts[0].expr
+        assert isinstance(launch, ast.Launch)
+        assert launch.kernel == "k"
+
+    def test_shared_declaration(self):
+        p = parse_ok("__global__ void k() { __shared__ float tile[128]; }", Dialect.CUDA)
+        decl = p.function("k").body.stmts[0]
+        assert decl.shared
+
+    def test_syncthreads(self):
+        p = parse_ok("__global__ void k() { __syncthreads(); }", Dialect.CUDA)
+        assert isinstance(p.function("k").body.stmts[0], ast.SyncThreads)
+
+
+class TestOmpPragmas:
+    def test_target_teams_loop_with_clauses(self):
+        p = parse_ok(
+            "void f(float* a, int n) {\n"
+            "#pragma omp target teams distribute parallel for map(tofrom: a[0:n]) num_threads(256)\n"
+            "for (int i = 0; i < n; i++) { a[i] = 0.0f; }\n"
+            "}",
+            Dialect.OMP,
+        )
+        stmt = p.function("f").body.stmts[0]
+        assert isinstance(stmt, ast.Pragma)
+        assert stmt.pragma.directive == "target teams distribute parallel for"
+        assert stmt.pragma.maps[0].kind == "tofrom"
+        assert stmt.pragma.num_threads is not None
+        assert isinstance(stmt.body, ast.For)
+
+    def test_reduction_clause(self):
+        p = parse_ok(
+            "void f(float* a, int n) { float s = 0.0f;\n"
+            "#pragma omp target teams distribute parallel for reduction(+: s) map(to: a[0:n])\n"
+            "for (int i = 0; i < n; i++) { s += a[i]; }\n"
+            "}",
+            Dialect.OMP,
+        )
+        red = p.function("f").body.stmts[1].pragma.reduction
+        assert red.op == "+" and red.names == ["s"]
+
+    def test_collapse_clause(self):
+        p = parse_ok(
+            "void f(float* a, int n) {\n"
+            "#pragma omp target teams distribute parallel for collapse(2) map(tofrom: a[0:n])\n"
+            "for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { a[i] = 0.0f; } }\n"
+            "}",
+            Dialect.OMP,
+        )
+        assert p.function("f").body.stmts[0].pragma.collapse == 2
+
+    def test_target_data_region(self):
+        p = parse_ok(
+            "void f(float* a, int n) {\n"
+            "#pragma omp target data map(tofrom: a[0:n])\n"
+            "{\n"
+            "#pragma omp target teams distribute parallel for\n"
+            "for (int i = 0; i < n; i++) { a[i] = 1.0f; }\n"
+            "}\n"
+            "}",
+            Dialect.OMP,
+        )
+        outer = p.function("f").body.stmts[0]
+        assert outer.pragma.directive == "target data"
+        assert isinstance(outer.body, ast.Block)
+
+    def test_atomic_pragma(self):
+        p = parse_ok(
+            "void f(int* c) {\n#pragma omp atomic\nc[0] += 1;\n}",
+            Dialect.OMP,
+        )
+        stmt = p.function("f").body.stmts[0]
+        assert stmt.pragma.directive == "atomic"
+
+    def test_schedule_clause(self):
+        p = parse_ok(
+            "void f(float* a, int n) {\n"
+            "#pragma omp parallel for schedule(static)\n"
+            "for (int i = 0; i < n; i++) { a[i] = 0.0f; }\n"
+            "}",
+            Dialect.OMP,
+        )
+        assert p.function("f").body.stmts[0].pragma.schedule == "static"
+
+    def test_loop_pragma_without_for_is_error(self):
+        parse_err(
+            "void f(int x) {\n#pragma omp parallel for\nx = 1;\n}",
+            Dialect.OMP,
+        )
+
+    def test_unknown_omp_directive_is_error(self):
+        diags = parse_err("void f() {\n#pragma omp frobnicate\nint x;\n}", Dialect.OMP)
+        assert any(d.code == "unknown-omp-directive" for d in diags.errors)
+
+    def test_non_omp_pragma_warns_and_continues(self):
+        program, diags = parse(
+            SourceFile("t", "void f() {\n#pragma unroll\nint x = 1;\n}", Dialect.C)
+        )
+        assert not diags.has_errors
+        assert any(d.code == "unknown-pragma" for d in diags)
+        assert isinstance(program.function("f").body.stmts[0], ast.VarDecl)
+
+
+class TestErrorRecovery:
+    def test_missing_semicolon_reported(self):
+        diags = parse_err("void f() { int a = 1 int b = 2; }")
+        assert any(d.code == "expected-token" for d in diags.errors)
+
+    def test_multiple_errors_reported(self):
+        diags = parse_err("void f() { int a = ; int b = ; }")
+        assert len(diags.errors) >= 2
+
+    def test_unclosed_block(self):
+        parse_err("void f() { int a = 1;")
+
+    def test_recovery_keeps_later_functions(self):
+        program, diags = parse(
+            SourceFile(
+                "t",
+                "void bad() { int x = ; }\nint good() { return 1; }",
+                Dialect.C,
+            )
+        )
+        assert diags.has_errors
+        assert program.function("good") is not None
+
+
+class TestRoundTrip:
+    def test_fixture_roundtrip_cuda(self, cuda_vecadd_source):
+        from repro.minilang import generate
+
+        program, diags = parse(cuda_vecadd_source)
+        assert not diags.has_errors
+        text = generate(program)
+        program2, diags2 = parse(
+            SourceFile("rt", text, Dialect.CUDA)
+        )
+        assert not diags2.has_errors
+        assert generate(program2) == text
+
+    def test_fixture_roundtrip_omp(self, omp_vecadd_source):
+        from repro.minilang import generate
+
+        program, diags = parse(omp_vecadd_source)
+        assert not diags.has_errors, diags.render()
+        text = generate(program)
+        program2, diags2 = parse(SourceFile("rt", text, Dialect.OMP))
+        assert not diags2.has_errors, diags2.render()
+        assert generate(program2) == text

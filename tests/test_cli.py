@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "matrix-rotate" in out and "randomAccess" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt4" in out and "163,840" in out
+
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+        assert "GPT-4" in capsys.readouterr().out
+
+    def test_translate_success(self, capsys):
+        rc = main(["translate", "layout", "--model", "codestral",
+                   "--direction", "omp2cuda", "--show-code"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "status: success" in out
+        assert "__global__" in out
+
+    def test_translate_planned_na_exits_nonzero(self, capsys):
+        rc = main(["translate", "dense-embedding", "--model", "gpt4",
+                   "--direction", "omp2cuda"])
+        assert rc == 1
+
+    def test_evaluate_slice(self, capsys):
+        rc = main(["evaluate", "--models", "wizardcoder",
+                   "--apps", "entropy", "--direction", "cuda2omp"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table VII" in out
+        assert "CUDA -> OpenMP" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["translate", "frobnicate"])

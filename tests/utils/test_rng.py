@@ -1,0 +1,96 @@
+"""Tests for deterministic RNG streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_distinct_keys_give_distinct_seeds(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_distinct_roots_give_distinct_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_key_path_is_not_concatenation(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        assert derive_seed(7, "ab", "c") != derive_seed(7, "a", "bc")
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.text(max_size=20))
+    def test_seed_in_64bit_range(self, root, key):
+        s = derive_seed(root, key)
+        assert 0 <= s < 2**64
+
+
+class TestRngStream:
+    def test_same_path_same_sequence(self):
+        a = RngStream(99, "x", "y")
+        b = RngStream(99, "x", "y")
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_child_stream_independent_of_parent_consumption(self):
+        parent1 = RngStream(5, "p")
+        parent2 = RngStream(5, "p")
+        parent1.uniform()  # consume from one parent only
+        assert parent1.child("c").uniform() == parent2.child("c").uniform()
+
+    def test_randint_bounds(self):
+        s = RngStream(1, "t")
+        values = [s.randint(3, 7) for _ in range(200)]
+        assert min(values) >= 3
+        assert max(values) <= 7
+        assert set(values) == {3, 4, 5, 6, 7}
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            RngStream(1).randint(5, 4)
+
+    def test_bernoulli_extremes(self):
+        s = RngStream(2, "b")
+        assert not any(s.bernoulli(0.0) for _ in range(50))
+        assert all(s.bernoulli(1.0) for _ in range(50))
+
+    def test_bernoulli_bad_probability(self):
+        with pytest.raises(ValueError):
+            RngStream(1).bernoulli(1.5)
+
+    def test_choice(self):
+        s = RngStream(3, "c")
+        items = ["a", "b", "c"]
+        assert all(s.choice(items) in items for _ in range(50))
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RngStream(1).choice([])
+
+    def test_weighted_choice_respects_zero_weight(self):
+        s = RngStream(4, "w")
+        picks = {s.weighted_choice(["x", "y"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"x"}
+
+    def test_weighted_choice_validation(self):
+        with pytest.raises(ValueError):
+            RngStream(1).weighted_choice(["x"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            RngStream(1).weighted_choice(["x", "y"], [0.0, 0.0])
+
+    def test_shuffle_preserves_elements(self):
+        s = RngStream(5, "s")
+        items = list(range(20))
+        assert sorted(s.shuffle(items)) == items
+
+    def test_lognormal_factor_positive(self):
+        s = RngStream(6, "ln")
+        assert all(s.lognormal_factor(0.3) > 0 for _ in range(100))
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_uniform_in_range(self, root):
+        s = RngStream(root, "u")
+        v = s.uniform(2.0, 3.0)
+        assert 2.0 <= v < 3.0

@@ -1,0 +1,35 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["App", "Runtime"], [["jacobi", 0.8641]])
+        lines = out.splitlines()
+        assert lines[0].startswith("App")
+        assert "0.8641" in lines[2]
+
+    def test_none_renders_na(self):
+        out = render_table(["A", "B"], [["x", None]])
+        assert "N/A" in out
+
+    def test_title(self):
+        out = render_table(["A"], [["x"]], title="Table IV")
+        assert out.splitlines()[0] == "Table IV"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only-one"]])
+
+    def test_float_formatting(self):
+        out = render_table(["A"], [[1.23456789]])
+        assert "1.2346" in out
+
+    def test_empty_rows(self):
+        out = render_table(["A", "B"], [])
+        assert "A" in out
