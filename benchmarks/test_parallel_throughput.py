@@ -1,0 +1,88 @@
+"""Wall-clock speedup of the parallel grid over the serial baseline.
+
+The real §V workload is bounded by LLM round-trips (network latency to a
+hosted model or inference time on local hardware), which a worker pool
+overlaps.  The :class:`SimulatedLLM` responds instantly, so to measure what
+parallelism buys we re-introduce a fixed per-scenario latency modelling the
+round-trip — small enough to keep the bench a smoke test, large enough to
+dominate the pure-Python compute that the GIL serialises anyway.
+
+Emits ``BENCH_parallel_throughput.json`` (picked up as a CI artifact) with
+the serial/parallel timings and the measured speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import ParallelExperimentRunner
+
+#: Modelled LLM round-trip per scenario (seconds).
+SCENARIO_LATENCY = 0.15
+#: Worker threads for the parallel leg.
+JOBS = 4
+#: The measured grid: 2 models x 1 direction x 4 apps = 8 scenarios.
+GRID = dict(
+    models=["gpt4", "codestral"],
+    directions=["omp2cuda"],
+    apps=["layout", "entropy", "bsearch", "pathfinder"],
+)
+#: Minimum accepted speedup.  Latency overlap alone yields ~1.5x even on a
+#: single-core box; keep head-room so a loaded CI runner does not flake.
+MIN_SPEEDUP = 1.1
+
+BENCH_ARTIFACT = Path("BENCH_parallel_throughput.json")
+
+
+class _LatencyModelRunner(ParallelExperimentRunner):
+    """Grid runner with a fixed LLM round-trip latency per scenario."""
+
+    def run_scenario(self, scenario, app=None):
+        time.sleep(SCENARIO_LATENCY)
+        return super().run_scenario(scenario, app)
+
+
+def _timed_grid(jobs: int):
+    runner = _LatencyModelRunner(jobs=jobs)
+    start = time.perf_counter()
+    results = runner.run(**GRID)
+    elapsed = time.perf_counter() - start
+    return results, elapsed
+
+
+def test_parallel_grid_beats_serial():
+    serial_results, serial_s = _timed_grid(jobs=1)
+    parallel_results, parallel_s = _timed_grid(jobs=JOBS)
+
+    # Parallelism must not change the science: same cells, same statuses.
+    assert [r.scenario for r in parallel_results] == [
+        r.scenario for r in serial_results
+    ]
+    assert [r.result.status for r in parallel_results] == [
+        r.result.status for r in serial_results
+    ]
+
+    speedup = serial_s / parallel_s
+    BENCH_ARTIFACT.write_text(
+        json.dumps(
+            {
+                "bench": "parallel_throughput",
+                "scenarios": len(serial_results),
+                "scenario_latency_s": SCENARIO_LATENCY,
+                "jobs": JOBS,
+                "serial_seconds": round(serial_s, 4),
+                "parallel_seconds": round(parallel_s, 4),
+                "speedup": round(speedup, 3),
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    assert speedup > MIN_SPEEDUP, (
+        f"parallel grid ({parallel_s:.2f}s with jobs={JOBS}) should beat "
+        f"serial ({serial_s:.2f}s); measured speedup {speedup:.2f}x"
+    )

@@ -16,6 +16,9 @@ from typing import List, Optional
 
 from repro.experiments import (
     ExperimentRunner,
+    ParallelExperimentRunner,
+    RunSession,
+    SessionError,
     headline_summary,
     render_table4,
     render_table5,
@@ -25,6 +28,9 @@ from repro.experiments.runner import Scenario
 from repro.hecbench import all_apps, app_names
 from repro.llm.profiles import CUDA2OMP, OMP2CUDA
 from repro.llm.registry import all_models, model_keys
+
+DEFAULT_PROFILE = "paper"
+DEFAULT_SEED = 2024
 
 
 def _cmd_apps(_args) -> int:
@@ -56,19 +62,39 @@ def _cmd_translate(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    runner = ExperimentRunner(profile=args.profile, seed=args.seed)
+    if args.resume and not args.session:
+        print("--resume requires --session PATH", file=sys.stderr)
+        return 2
+    session = None
+    if args.session:
+        try:
+            session = RunSession(args.session, resume=args.resume)
+        except SessionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.resume and len(session):
+            print(f"resuming session {args.session}: "
+                  f"{len(session)} scenario(s) already recorded",
+                  file=sys.stderr)
+    runner = ParallelExperimentRunner(
+        profile=args.profile, seed=args.seed, jobs=args.jobs, session=session,
+    )
 
     def progress(sr):
         s = sr.scenario
         print(f"  {s.direction:9s} {s.model_key:12s} {s.app_name:16s} "
               f"-> {sr.result.status}", file=sys.stderr)
 
-    results = runner.run(
-        models=args.models or None,
-        apps=args.apps or None,
-        directions=[args.direction] if args.direction else None,
-        progress=progress if args.verbose else None,
-    )
+    try:
+        results = runner.run(
+            models=args.models or None,
+            apps=args.apps or None,
+            directions=[args.direction] if args.direction else None,
+            progress=progress if args.verbose else None,
+        )
+    except SessionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     tables = render_translation_tables(results)
     for direction in (OMP2CUDA, CUDA2OMP):
         if args.direction in (None, direction):
@@ -79,20 +105,27 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_table(args) -> int:
-    if args.number == 4:
-        print(render_table4())
-        return 0
-    if args.number == 5:
-        print(render_table5())
+    if args.number in (4, 5):
+        if args.profile != DEFAULT_PROFILE or args.seed != DEFAULT_SEED:
+            print("note: --profile/--seed only affect tables 6 and 7; "
+                  f"table {args.number} is static", file=sys.stderr)
+        print(render_table4() if args.number == 4 else render_table5())
         return 0
     if args.number in (6, 7):
         direction = OMP2CUDA if args.number == 6 else CUDA2OMP
-        runner = ExperimentRunner()
+        runner = ExperimentRunner(profile=args.profile, seed=args.seed)
         results = runner.run(directions=[direction])
         print(render_translation_tables(results)[direction])
         return 0
     print(f"no renderer for table {args.number}", file=sys.stderr)
     return 1
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,9 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--model", default="gpt4", choices=model_keys())
     tr.add_argument("--direction", default=OMP2CUDA,
                     choices=[OMP2CUDA, CUDA2OMP])
-    tr.add_argument("--profile", default="paper",
+    tr.add_argument("--profile", default=DEFAULT_PROFILE,
                     choices=["paper", "stochastic"])
-    tr.add_argument("--seed", type=int, default=2024)
+    tr.add_argument("--seed", type=int, default=DEFAULT_SEED)
     tr.add_argument("--show-code", action="store_true")
     tr.set_defaults(func=_cmd_translate)
 
@@ -124,14 +157,23 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--models", nargs="*", choices=model_keys())
     ev.add_argument("--apps", nargs="*", choices=app_names())
     ev.add_argument("--direction", choices=[OMP2CUDA, CUDA2OMP])
-    ev.add_argument("--profile", default="paper",
+    ev.add_argument("--profile", default=DEFAULT_PROFILE,
                     choices=["paper", "stochastic"])
-    ev.add_argument("--seed", type=int, default=2024)
+    ev.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    ev.add_argument("--jobs", "-j", type=_positive_int, default=1, metavar="N",
+                    help="worker threads for the grid (default: 1)")
+    ev.add_argument("--session", metavar="PATH",
+                    help="persist each result to a JSONL session artifact")
+    ev.add_argument("--resume", action="store_true",
+                    help="skip scenarios already recorded in --session")
     ev.add_argument("--verbose", "-v", action="store_true")
     ev.set_defaults(func=_cmd_evaluate)
 
     tb = sub.add_parser("table", help="print a paper table")
     tb.add_argument("number", type=int, choices=[4, 5, 6, 7])
+    tb.add_argument("--profile", default=DEFAULT_PROFILE,
+                    choices=["paper", "stochastic"])
+    tb.add_argument("--seed", type=int, default=DEFAULT_SEED)
     tb.set_defaults(func=_cmd_table)
     return parser
 

@@ -5,6 +5,8 @@ from repro.experiments.runner import (
     Scenario,
     ScenarioResult,
 )
+from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.session import RunSession, SessionError
 from repro.experiments.tables import (
     render_table4,
     render_table5,
@@ -14,6 +16,9 @@ from repro.experiments.stats import direction_stats, headline_summary
 
 __all__ = [
     "ExperimentRunner",
+    "ParallelExperimentRunner",
+    "RunSession",
+    "SessionError",
     "Scenario",
     "ScenarioResult",
     "render_table4",

@@ -1,0 +1,110 @@
+"""Parallel execution of the §V experiment grid.
+
+The 80-scenario evaluation is embarrassingly parallel: every (model,
+direction, app) cell is an independent pipeline run that shares only the
+read-only app sources and the baseline cache.  :class:`ParallelExperimentRunner`
+shards the grid across a :class:`concurrent.futures.ThreadPoolExecutor`
+while keeping three guarantees the serial runner provides for free:
+
+* **deterministic ordering** — results come back in scenario-enumeration
+  order regardless of which worker finished first, so table renderers and
+  downstream statistics see the exact same sequence as ``ExperimentRunner``;
+* **single baseline build per app** — all workers share one
+  :class:`~repro.pipeline.BaselinePreparer`, whose per-key locks make
+  concurrent first requests for the same baseline compile it exactly once;
+* **identical per-scenario behaviour** — each scenario constructs its own
+  seeded :class:`SimulatedLLM` and pipeline, so statuses and metrics do not
+  depend on ``jobs`` (the determinism tests pin this).
+
+Pair it with a :class:`~repro.experiments.session.RunSession` to persist
+every result as it completes and to resume an interrupted grid.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Iterable, List, Optional
+
+from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
+from repro.experiments.session import RunSession
+from repro.pipeline import PipelineConfig
+from repro.toolchain import Executor
+
+#: Upper bound on worker threads; the grid is only 80 cells wide.
+MAX_JOBS = 64
+
+
+class ParallelExperimentRunner(ExperimentRunner):
+    """Runs the evaluation grid on a worker pool, optionally session-backed.
+
+    ``jobs=1`` degenerates to serial execution (still through the pool, so
+    the code path is identical).  A ``session`` — or one passed to
+    :meth:`run` — receives every :class:`ScenarioResult` as it completes;
+    scenarios already recorded in a resumed session are *not* re-executed,
+    their stored results are spliced into the output at the right position.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        profile: str = "paper",
+        seed: int = 2024,
+        executor: Optional[Executor] = None,
+        jobs: int = 1,
+        session: Optional[RunSession] = None,
+    ) -> None:
+        super().__init__(config=config, profile=profile, seed=seed, executor=executor)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = min(jobs, MAX_JOBS)
+        self.session = session
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        models: Optional[Iterable[str]] = None,
+        directions: Optional[Iterable[str]] = None,
+        apps: Optional[Iterable[str]] = None,
+        progress: Optional[callable] = None,
+        session: Optional[RunSession] = None,
+    ) -> List[ScenarioResult]:
+        session = session or self.session
+        if session is not None:
+            session.bind(self.profile, self.seed)
+
+        scenarios = self.scenarios(models, directions, apps)
+        results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+
+        pending: List[int] = []
+        for i, scenario in enumerate(scenarios):
+            recorded = session.get(scenario) if session is not None else None
+            if recorded is not None:
+                results[i] = recorded
+            else:
+                pending.append(i)
+
+        if pending:
+            with ThreadPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                thread_name_prefix="repro-grid",
+            ) as pool:
+                futures = {
+                    pool.submit(self.run_scenario, scenarios[i]): i for i in pending
+                }
+                try:
+                    for future in as_completed(futures):
+                        i = futures[future]
+                        res = future.result()  # worker exceptions surface here
+                        results[i] = res
+                        if session is not None:
+                            session.record(res)
+                        if progress is not None:
+                            progress(res)
+                except BaseException:
+                    # Don't let queued scenarios burn a full grid's wall-clock
+                    # during shutdown; in-flight ones finish and are lost.
+                    for f in futures:
+                        f.cancel()
+                    raise
+
+        return list(results)

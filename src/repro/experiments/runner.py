@@ -11,7 +11,7 @@ reused across all models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.hecbench import AppSpec, all_apps
 from repro.llm.profiles import (
@@ -41,6 +41,26 @@ class Scenario:
     direction: str  # "omp2cuda" | "cuda2omp"
     app_name: str
 
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Stable identity used by sessions to detect completed scenarios."""
+        return (self.model_key, self.direction, self.app_name)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "model_key": self.model_key,
+            "direction": self.direction,
+            "app_name": self.app_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "Scenario":
+        return cls(
+            model_key=data["model_key"],
+            direction=data["direction"],
+            app_name=data["app_name"],
+        )
+
 
 @dataclass
 class ScenarioResult:
@@ -50,6 +70,19 @@ class ScenarioResult:
     @property
     def metrics(self) -> ScenarioMetrics:
         return self.result.metrics()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            result=LassiResult.from_dict(data["result"]),
+        )
 
 
 class ExperimentRunner:

@@ -10,6 +10,7 @@ once per app, not once per model.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -41,12 +42,30 @@ class Baseline:
         return self.compile_result.command
 
 
+#: Cache key: (source, dialect, args, work_scale, launch_scale).
+BaselineKey = Tuple[str, str, Tuple[str, ...], float, float]
+
+
 class BaselinePreparer:
-    """Prepares and caches baselines (the §III-A stage)."""
+    """Prepares and caches baselines (the §III-A stage).
+
+    Safe to share across concurrent pipeline workers: a per-key lock
+    serialises the compile+run of each distinct baseline so the grid pays
+    for every (app, dialect) exactly once, while different baselines can
+    still be prepared in parallel.  ``compile_count`` / ``hit_count`` expose
+    how many baselines were actually built versus served from cache — the
+    resume and dedup tests assert on them.
+    """
 
     def __init__(self, executor: Optional[Executor] = None) -> None:
         self.executor = executor or Executor()
-        self._cache: Dict[Tuple[str, str, Tuple[str, ...], float, float], Baseline] = {}
+        self._cache: Dict[BaselineKey, Baseline] = {}
+        self._lock = threading.Lock()
+        self._key_locks: Dict[BaselineKey, threading.Lock] = {}
+        #: Number of baselines actually compiled+run (cache misses).
+        self.compile_count = 0
+        #: Number of ``prepare`` calls served from the cache.
+        self.hit_count = 0
 
     def prepare(
         self,
@@ -61,10 +80,34 @@ class BaselinePreparer:
             source, dialect.value, tuple(args), work_scale,
             launch_scale if launch_scale is not None else work_scale,
         )
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hit_count += 1
+                return cached
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
 
+        with key_lock:
+            # Another worker may have built this baseline while we waited.
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self.hit_count += 1
+                    return cached
+            baseline = self._build(source, dialect, args, work_scale, launch_scale)
+            with self._lock:
+                self._cache[key] = baseline
+                self.compile_count += 1
+            return baseline
+
+    def _build(
+        self,
+        source: str,
+        dialect: Dialect,
+        args: Sequence[str],
+        work_scale: float,
+        launch_scale: Optional[float],
+    ) -> Baseline:
         compiler = compiler_for(dialect)
         compile_result = compiler.compile(source)
         if not compile_result.ok:
@@ -82,11 +125,9 @@ class BaselinePreparer:
                 f"original {dialect.display_name} code failed to execute; "
                 f"LASSI halts until the user corrects it:\n{execution.stderr}"
             )
-        baseline = Baseline(
+        return Baseline(
             dialect=dialect,
             source=source,
             compile_result=compile_result,
             execution=execution,
         )
-        self._cache[key] = baseline
-        return baseline

@@ -1,9 +1,14 @@
-"""Result records produced by the pipeline."""
+"""Result records produced by the pipeline.
+
+Both record types round-trip through plain dicts (``to_dict`` /
+``from_dict``) so a :class:`~repro.experiments.session.RunSession` can
+persist every result to a JSONL artifact and rebuild it on resume.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.metrics.aggregate import ScenarioMetrics
 
@@ -18,6 +23,27 @@ class Attempt:
     compiled: bool = False
     executed: bool = False
     stderr: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "code": self.code,
+            "compiled": self.compiled,
+            "executed": self.executed,
+            "stderr": self.stderr,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Attempt":
+        return cls(
+            index=data["index"],
+            kind=data["kind"],
+            code=data.get("code"),
+            compiled=data.get("compiled", False),
+            executed=data.get("executed", False),
+            stderr=data.get("stderr", ""),
+        )
 
 
 @dataclass
@@ -56,4 +82,43 @@ class LassiResult:
             sim_t=self.sim_t,
             sim_l=self.sim_l,
             self_corrections=self.self_corrections,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "source_dialect": self.source_dialect,
+            "target_dialect": self.target_dialect,
+            "model": self.model,
+            "generated_code": self.generated_code,
+            "stdout": self.stdout,
+            "runtime_seconds": self.runtime_seconds,
+            "ratio": self.ratio,
+            "sim_t": self.sim_t,
+            "sim_l": self.sim_l,
+            "self_corrections": self.self_corrections,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "prompt_tokens": self.prompt_tokens,
+            "verified": self.verified,
+            "failure_detail": self.failure_detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LassiResult":
+        return cls(
+            status=data["status"],
+            source_dialect=data["source_dialect"],
+            target_dialect=data["target_dialect"],
+            model=data["model"],
+            generated_code=data.get("generated_code"),
+            stdout=data.get("stdout", ""),
+            runtime_seconds=data.get("runtime_seconds"),
+            ratio=data.get("ratio"),
+            sim_t=data.get("sim_t"),
+            sim_l=data.get("sim_l"),
+            self_corrections=data.get("self_corrections", 0),
+            attempts=[Attempt.from_dict(a) for a in data.get("attempts", [])],
+            prompt_tokens=data.get("prompt_tokens", 0),
+            verified=data.get("verified", False),
+            failure_detail=data.get("failure_detail", ""),
         )

@@ -1,0 +1,70 @@
+"""Round-trip serialization of pipeline result records."""
+
+from __future__ import annotations
+
+import json
+
+from repro.hecbench import get_app
+from repro.llm.profiles import CellPlan
+from repro.llm.simulated import SimulatedLLM
+from repro.minilang.source import Dialect
+from repro.pipeline import LassiPipeline
+from repro.pipeline.results import Attempt, LassiResult
+
+
+def _rt(result: LassiResult) -> LassiResult:
+    """to_dict -> JSON text -> from_dict, as a session file would."""
+    return LassiResult.from_dict(json.loads(json.dumps(result.to_dict())))
+
+
+class TestAttemptRoundTrip:
+    def test_full_fields(self):
+        a = Attempt(index=3, kind="compile-correction", code="int main(){}",
+                    compiled=True, executed=False, stderr="boom")
+        b = Attempt.from_dict(a.to_dict())
+        assert b == a
+
+    def test_none_code_survives(self):
+        a = Attempt(index=0, kind="initial", code=None)
+        assert Attempt.from_dict(a.to_dict()) == a
+
+
+class TestLassiResultRoundTrip:
+    def test_handcrafted_failure(self):
+        r = LassiResult(
+            status="compile-failed",
+            source_dialect="omp",
+            target_dialect="cuda",
+            model="gpt4",
+            generated_code="__global__ void k() {}",
+            self_corrections=2,
+            attempts=[
+                Attempt(index=0, kind="initial", code="bad", stderr="err"),
+                Attempt(index=1, kind="compile-correction", code="worse"),
+            ],
+            prompt_tokens=1234,
+            failure_detail="did not compile",
+        )
+        assert _rt(r) == r
+
+    def test_real_pipeline_result(self):
+        app = get_app("layout")
+        llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=CellPlan())
+        pipeline = LassiPipeline(llm, Dialect.OMP, Dialect.CUDA)
+        result = pipeline.translate(
+            app.omp_source,
+            reference_target_code=app.cuda_source,
+            args=app.args,
+            work_scale=app.work_scale,
+            launch_scale=app.launch_scale,
+        )
+        assert result.ok
+        back = _rt(result)
+        assert back == result
+        # the metrics projection survives the trip too
+        assert back.metrics() == result.metrics()
+
+    def test_dict_is_json_safe(self):
+        r = LassiResult(status="no-code", source_dialect="cuda",
+                        target_dialect="omp", model="deepseek")
+        json.dumps(r.to_dict())  # must not raise

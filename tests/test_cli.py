@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+import repro.cli
 from repro.cli import main
 
 
@@ -46,3 +49,70 @@ class TestCli:
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["translate", "frobnicate"])
+
+
+class TestEvaluateParallel:
+    def test_evaluate_jobs_matches_serial_output(self, capsys):
+        argv = ["evaluate", "--models", "wizardcoder", "--apps", "entropy",
+                "--direction", "cuda2omp"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_evaluate_session_and_resume(self, capsys, tmp_path):
+        session = str(tmp_path / "run.jsonl")
+        argv = ["evaluate", "--models", "gpt4", "--apps", "layout", "entropy",
+                "--direction", "omp2cuda", "--jobs", "2", "--session", session]
+        assert main(argv) == 0
+        capsys.readouterr()
+        lines = [json.loads(l) for l in open(session)]
+        assert lines[0]["type"] == "session"
+        assert sum(1 for l in lines if l["type"] == "scenario") == 2
+
+        # Resuming a completed session re-executes nothing and still renders.
+        assert main(argv + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "Table VI" in captured.out
+        assert "2 scenario(s) already recorded" in captured.err
+
+    def test_resume_without_session_is_an_error(self, capsys):
+        assert main(["evaluate", "--resume"]) == 2
+        assert "--resume requires --session" in capsys.readouterr().err
+
+
+class TestTableForwardsProfileAndSeed:
+    def test_table6_forwards_profile_and_seed(self, monkeypatch, capsys):
+        captured = {}
+
+        class RecordingRunner:
+            def __init__(self, profile="paper", seed=2024, **kwargs):
+                captured.update(profile=profile, seed=seed)
+
+            def run(self, directions=None, **kwargs):
+                return []
+
+        monkeypatch.setattr(repro.cli, "ExperimentRunner", RecordingRunner)
+        assert main(["table", "6", "--profile", "stochastic", "--seed", "7"]) == 0
+        assert captured == {"profile": "stochastic", "seed": 7}
+
+    def test_table4_warns_that_flags_are_static(self, capsys):
+        assert main(["table", "4", "--profile", "stochastic"]) == 0
+        captured = capsys.readouterr()
+        assert "Table IV" in captured.out
+        assert "only affect tables 6 and 7" in captured.err
+
+    def test_table7_defaults(self, monkeypatch, capsys):
+        captured = {}
+
+        class RecordingRunner:
+            def __init__(self, profile="paper", seed=2024, **kwargs):
+                captured.update(profile=profile, seed=seed)
+
+            def run(self, directions=None, **kwargs):
+                return []
+
+        monkeypatch.setattr(repro.cli, "ExperimentRunner", RecordingRunner)
+        assert main(["table", "7"]) == 0
+        assert captured == {"profile": "paper", "seed": 2024}
