@@ -25,7 +25,7 @@ def test_ablation_knowledge_context(benchmark):
 
     with_k, without_k = benchmark.pedantic(run_pair, rounds=1, iterations=1)
     assert with_k.result.ok and without_k.result.ok
-    print(f"\nAblation: knowledge context")
+    print("\nAblation: knowledge context")
     print(f"  prompt tokens with knowledge:    {with_k.result.prompt_tokens}")
     print(f"  prompt tokens without knowledge: {without_k.result.prompt_tokens}")
     assert with_k.result.prompt_tokens > 2 * without_k.result.prompt_tokens

@@ -7,7 +7,7 @@ grid with ``self_correction=False`` and show the success-rate collapse.
 
 from __future__ import annotations
 
-from repro.experiments import ExperimentRunner, direction_stats
+from repro.experiments import ExperimentRunner
 from repro.pipeline import PipelineConfig
 
 MODELS = ["gpt4", "wizardcoder"]

@@ -12,7 +12,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.runner import ExperimentRunner, Scenario
 from repro.hecbench import get_app
@@ -39,8 +38,8 @@ def test_bsearch_single_thread_slowdown(benchmark):
           f" vs reference {ref.runtime_seconds:.4f}s -> {slowdown:.1f}x slower"
           f" (paper: ~20x)")
     print("generated pragma:", [
-        l.strip() for l in result.generated_code.splitlines()
-        if "#pragma omp target" in l
+        ln.strip() for ln in result.generated_code.splitlines()
+        if "#pragma omp target" in ln
     ][0])
     assert slowdown > 5  # large slowdown, same output
     assert "num_threads(1)" in result.generated_code

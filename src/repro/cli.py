@@ -5,25 +5,36 @@ Commands mirror the deliverables:
 * ``translate`` — run the LASSI pipeline on one suite app;
 * ``evaluate``  — the §V experiment grid (optionally filtered);
 * ``table``     — print a paper table (4, 5, 6 or 7);
+* ``campaign``  — declarative ablation sweeps (run / report / list);
 * ``apps`` / ``models`` — list the suite and the registry.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments import (
+    CampaignError,
+    CampaignRunner,
     ExperimentRunner,
     ParallelExperimentRunner,
     RunSession,
     SessionError,
+    get_preset,
     headline_summary,
+    load_campaign,
+    load_spec_file,
+    preset_names,
+    render_campaign_report,
     render_table4,
     render_table5,
     render_translation_tables,
 )
+from repro.experiments.campaign import MANIFEST_NAME, PRESETS
 from repro.experiments.runner import Scenario
 from repro.hecbench import all_apps, app_names
 from repro.llm.profiles import CUDA2OMP, OMP2CUDA
@@ -62,6 +73,13 @@ def _cmd_translate(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    # nargs="*" yields [] when the flag is given with no values; running the
+    # full grid in that case would silently ignore the user's filter intent.
+    for flag in ("models", "apps"):
+        if getattr(args, flag) == []:
+            print(f"--{flag} requires at least one value "
+                  f"(omit the flag to run the full grid)", file=sys.stderr)
+            return 2
     if args.resume and not args.session:
         print("--resume requires --session PATH", file=sys.stderr)
         return 2
@@ -113,12 +131,88 @@ def _cmd_table(args) -> int:
         return 0
     if args.number in (6, 7):
         direction = OMP2CUDA if args.number == 6 else CUDA2OMP
-        runner = ExperimentRunner(profile=args.profile, seed=args.seed)
+        runner = ParallelExperimentRunner(
+            profile=args.profile, seed=args.seed, jobs=args.jobs
+        )
         results = runner.run(directions=[direction])
         print(render_translation_tables(results)[direction])
         return 0
     print(f"no renderer for table {args.number}", file=sys.stderr)
     return 1
+
+
+def _campaign_spec_from_args(args):
+    if args.spec and args.name:
+        print("give either a preset name or --spec PATH, not both",
+              file=sys.stderr)
+        return None
+    if args.spec:
+        return load_spec_file(args.spec)
+    if args.name:
+        return get_preset(args.name)
+    print(f"campaign run needs a preset name ({', '.join(preset_names())}) "
+          f"or --spec PATH", file=sys.stderr)
+    return None
+
+
+def _cmd_campaign_run(args) -> int:
+    try:
+        spec = _campaign_spec_from_args(args)
+        if spec is None:
+            return 2
+        runner = CampaignRunner(
+            spec, root=args.dir, jobs=args.jobs,
+            log=lambda msg: print(f"  {msg}", file=sys.stderr),
+        )
+
+        def progress(sr):
+            s = sr.scenario
+            print(f"    {s.direction:9s} {s.model_key:12s} {s.app_name:16s} "
+                  f"-> {sr.result.status}", file=sys.stderr)
+
+        print(f"campaign {spec.name}: {len(spec.cells())} cell(s) -> "
+              f"{runner.directory}", file=sys.stderr)
+        result = runner.run(progress=progress if args.verbose else None)
+    except (CampaignError, SessionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_campaign_report(result))
+    print(f"\n{result.total_pipeline_runs} pipeline run(s) executed; "
+          f"artifacts in {runner.directory}", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    directory = Path(args.dir) / args.name if args.name else Path(args.dir)
+    try:
+        campaign = load_campaign(directory)
+    except (CampaignError, SessionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_campaign_report(campaign))
+    return 0
+
+
+def _cmd_campaign_list(args) -> int:
+    print("built-in presets:")
+    for name in preset_names():
+        spec = PRESETS[name]()
+        print(f"  {name:26s} {len(spec.variants)} variant(s), "
+              f"{len(spec.cells())} cell(s) — {spec.description}")
+    root = Path(args.dir)
+    manifests = sorted(root.glob(f"*/{MANIFEST_NAME}")) if root.is_dir() else []
+    if manifests:
+        print(f"\ncampaign directories under {root}:")
+        for path in manifests:
+            try:
+                manifest = json.loads(path.read_text(encoding="utf-8"))
+                cells = manifest.get("cells", [])
+                done = sum(1 for c in cells if c.get("completed"))
+                print(f"  {path.parent.name:26s} {done}/{len(cells)} "
+                      f"cell(s) completed")
+            except (OSError, json.JSONDecodeError):
+                print(f"  {path.parent.name:26s} (unreadable manifest)")
+    return 0
 
 
 def _positive_int(text: str) -> int:
@@ -174,7 +268,41 @@ def build_parser() -> argparse.ArgumentParser:
     tb.add_argument("--profile", default=DEFAULT_PROFILE,
                     choices=["paper", "stochastic"])
     tb.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    tb.add_argument("--jobs", "-j", type=_positive_int, default=1, metavar="N",
+                    help="worker threads for the table 6/7 half-grid "
+                         "(default: 1)")
     tb.set_defaults(func=_cmd_table)
+
+    cg = sub.add_parser(
+        "campaign", help="declarative ablation sweeps over the grid"
+    )
+    cgsub = cg.add_subparsers(dest="campaign_command", required=True)
+
+    cr = cgsub.add_parser("run", help="run a preset or JSON campaign spec")
+    cr.add_argument("name", nargs="?",
+                    help=f"built-in preset ({', '.join(preset_names())})")
+    cr.add_argument("--spec", metavar="PATH",
+                    help="JSON CampaignSpec file instead of a preset")
+    cr.add_argument("--dir", default="campaigns", metavar="DIR",
+                    help="root directory for campaign artifacts "
+                         "(default: campaigns)")
+    cr.add_argument("--jobs", "-j", type=_positive_int, default=1,
+                    metavar="N", help="worker threads per variant grid")
+    cr.add_argument("--verbose", "-v", action="store_true")
+    cr.set_defaults(func=_cmd_campaign_run)
+
+    cp = cgsub.add_parser("report", help="render a campaign's comparison "
+                                         "tables from its directory")
+    cp.add_argument("name", nargs="?",
+                    help="campaign name under --dir (omit if --dir points "
+                         "straight at the campaign directory)")
+    cp.add_argument("--dir", default="campaigns", metavar="DIR")
+    cp.set_defaults(func=_cmd_campaign_report)
+
+    cl = cgsub.add_parser("list", help="list presets and campaign "
+                                       "directories")
+    cl.add_argument("--dir", default="campaigns", metavar="DIR")
+    cl.set_defaults(func=_cmd_campaign_list)
     return parser
 
 

@@ -1,29 +1,59 @@
-"""Experiment harness: the 80-scenario evaluation and table renderers."""
+"""Experiment harness: the 80-scenario evaluation, campaigns and reports."""
 
 from repro.experiments.runner import (
     ExperimentRunner,
     Scenario,
     ScenarioResult,
 )
+from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.session import RunSession, SessionError
+from repro.experiments.campaign import (
+    CampaignError,
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    Variant,
+    get_preset,
+    load_campaign,
+    load_spec_file,
+    preset_names,
+)
+from repro.experiments.report import render_campaign_report
 from repro.experiments.tables import (
     render_table4,
     render_table5,
     render_translation_tables,
 )
-from repro.experiments.stats import direction_stats, headline_summary
+from repro.experiments.stats import (
+    direction_stats,
+    headline_summary,
+    replicate_stats,
+)
 
 __all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
     "ExperimentRunner",
     "ParallelExperimentRunner",
+    "ResultCache",
     "RunSession",
     "SessionError",
     "Scenario",
     "ScenarioResult",
+    "Variant",
+    "cache_key",
+    "direction_stats",
+    "get_preset",
+    "headline_summary",
+    "load_campaign",
+    "load_spec_file",
+    "preset_names",
+    "render_campaign_report",
     "render_table4",
     "render_table5",
     "render_translation_tables",
-    "direction_stats",
-    "headline_summary",
+    "replicate_stats",
 ]

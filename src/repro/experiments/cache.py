@@ -1,0 +1,145 @@
+"""Content-addressed scenario-result cache.
+
+A :class:`ResultCache` stores one JSON file per completed scenario, named
+by the SHA-256 digest of the cell's full identity::
+
+    (scenario key, profile, seed, PipelineConfig fingerprint)
+
+Two experiment cells with the same identity are guaranteed to produce the
+same result (the simulated LLMs are deterministic given profile + seed, and
+the config fingerprint covers every ablation switch), so a cache hit can be
+replayed instead of re-executing the pipeline.  This is what lets a
+campaign's shared cells — e.g. the unablated baseline variant that appears
+in every paper ablation — run once and be replayed by every other variant
+and by every re-run of the campaign.
+
+Unlike a :class:`~repro.experiments.session.RunSession`, which records the
+progress of *one* grid, the cache is a cross-run store: it is consulted
+before a scenario is scheduled and written as each scenario completes.
+Entries whose stored identity does not match their digest (tampering,
+partial writes, format drift) are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.experiments.runner import Scenario, ScenarioResult
+
+#: Bumped when the on-disk entry shape changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+def cache_key(
+    scenario: Scenario, profile: str, seed: int, config_fingerprint: str
+) -> str:
+    """SHA-256 digest of a cell's full identity (the entry's file name)."""
+    payload = json.dumps(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "scenario": scenario.to_dict(),
+            "profile": profile,
+            "seed": seed,
+            "config_fingerprint": config_fingerprint,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Disk-backed, content-addressed store of :class:`ScenarioResult`s.
+
+    Thread-safe: entries are written to a temporary file and atomically
+    renamed into place, so concurrent workers (or concurrent campaigns
+    sharing one cache directory) never observe half-written entries.
+    ``hits`` / ``misses`` / ``stores`` expose the traffic — the campaign
+    replay tests assert on them.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def get(
+        self,
+        scenario: Scenario,
+        profile: str,
+        seed: int,
+        config_fingerprint: str,
+    ) -> Optional[ScenarioResult]:
+        """Return the cached result for this cell, or None on a miss."""
+        digest = cache_key(scenario, profile, seed, config_fingerprint)
+        path = self._path(digest)
+        entry = self._read(path)
+        if entry is None or entry.get("key") != digest:
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            result = ScenarioResult.from_dict(entry["result"])
+        except (KeyError, TypeError):
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return result
+
+    def put(
+        self,
+        result: ScenarioResult,
+        profile: str,
+        seed: int,
+        config_fingerprint: str,
+    ) -> str:
+        """Store one completed scenario; returns the entry's digest."""
+        digest = cache_key(result.scenario, profile, seed, config_fingerprint)
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": digest,
+            "profile": profile,
+            "seed": seed,
+            "config_fingerprint": config_fingerprint,
+            "result": result.to_dict(),
+        }
+        path = self._path(digest)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        with self._lock:
+            self.stores += 1
+        return digest
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read(path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        return entry
+
+    def __len__(self) -> int:
+        return sum(1 for p in self.root.glob("*.json") if not p.name.startswith("."))

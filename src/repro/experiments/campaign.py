@@ -1,0 +1,539 @@
+"""Declarative experiment campaigns: ablation sweeps over the §V grid.
+
+A :class:`CampaignSpec` names a grid subset (models x directions x apps)
+and a list of :class:`Variant`\\ s; each variant overrides
+:class:`~repro.pipeline.PipelineConfig` fields (the ablation switches),
+picks a profile, and lists one seed per stochastic replicate.  Running a
+campaign expands every (variant, seed) cell into one
+:class:`~repro.experiments.parallel.ParallelExperimentRunner` grid, all
+sharing a single :class:`~repro.pipeline.BaselinePreparer` (each HeCBench
+baseline builds once campaign-wide) and a single content-addressed
+:class:`~repro.experiments.cache.ResultCache` (identical cells — same
+scenario, profile, seed and config fingerprint — execute once and are
+replayed everywhere else, including on re-runs of the campaign).
+
+On disk a campaign is a directory::
+
+    <root>/<campaign-name>/
+        manifest.json            # spec + per-cell status (rewritten per cell)
+        cache/                   # shared ResultCache entries
+        sessions/<variant>-seed<seed>.jsonl   # one RunSession per cell
+
+Both levels of resume compose: killing a campaign midway loses at most the
+in-flight scenarios — finished cells are replayed from their sessions, the
+interrupted cell resumes scenario-by-scenario from its session, and any
+cell sharing config with a finished one replays from the cache.
+
+Built-in presets (:data:`PRESETS`) reproduce the paper's ablations:
+
+* ``knowledge-ablation``      — drop the §III-B language-knowledge document;
+* ``self-correction-ablation`` — disable the §III-D feedback loops;
+* ``max-corrections-sweep``   — sweep the §III-D iteration cap around the
+  paper's worst successful cell (34 corrections, Codestral/pathfinder);
+* ``stochastic-replicates``   — multi-seed stochastic replicates reported
+  as mean ± stddev (dispersion, not single numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.runner import ExperimentRunner, ScenarioResult
+from repro.experiments.session import RunSession
+from repro.pipeline import BaselinePreparer, PipelineConfig
+from repro.toolchain import Executor
+
+#: Bumped when the manifest shape changes incompatibly.
+MANIFEST_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+DEFAULT_SEED = 2024
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_CONFIG_FIELDS = {f.name for f in fields(PipelineConfig)}
+
+
+class CampaignError(ReproError):
+    """Raised for invalid specs and unusable campaign directories."""
+
+
+def _check_name(kind: str, name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise CampaignError(
+            f"{kind} name {name!r} must match {_NAME_RE.pattern} "
+            f"(it becomes a file name)"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Variant:
+    """One arm of a campaign: a config delta, a profile, and its seeds."""
+
+    name: str
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    profile: str = "paper"
+    seeds: List[int] = field(default_factory=lambda: [DEFAULT_SEED])
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        _check_name("variant", self.name)
+        unknown = set(self.overrides) - _CONFIG_FIELDS
+        if unknown:
+            raise CampaignError(
+                f"variant {self.name!r} overrides unknown PipelineConfig "
+                f"field(s): {', '.join(sorted(unknown))}"
+            )
+        if self.profile not in ("paper", "stochastic"):
+            raise CampaignError(
+                f"variant {self.name!r} has unknown profile {self.profile!r}"
+            )
+        if not self.seeds:
+            raise CampaignError(f"variant {self.name!r} has no seeds")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise CampaignError(f"variant {self.name!r} repeats a seed")
+
+    def config(self, base: PipelineConfig) -> PipelineConfig:
+        return replace(base, **self.overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "overrides": dict(self.overrides),
+            "profile": self.profile,
+            "seeds": list(self.seeds),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Variant":
+        return cls(
+            name=data["name"],
+            overrides=dict(data.get("overrides", {})),
+            profile=data.get("profile", "paper"),
+            seeds=list(data.get("seeds", [DEFAULT_SEED])),
+            description=data.get("description", ""),
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """A named sweep: grid subset + variants + the base configuration."""
+
+    name: str
+    variants: List[Variant]
+    models: Optional[List[str]] = None
+    directions: Optional[List[str]] = None
+    apps: Optional[List[str]] = None
+    description: str = ""
+    base_config: PipelineConfig = field(default_factory=PipelineConfig)
+
+    def __post_init__(self) -> None:
+        _check_name("campaign", self.name)
+        if not self.variants:
+            raise CampaignError(f"campaign {self.name!r} has no variants")
+        names = [v.name for v in self.variants]
+        if len(set(names)) != len(names):
+            raise CampaignError(
+                f"campaign {self.name!r} repeats a variant name"
+            )
+
+    def cells(self) -> List["CampaignCell"]:
+        """Every (variant, seed) execution cell, variant-major."""
+        return [
+            CampaignCell(variant=v, seed=s)
+            for v in self.variants
+            for s in v.seeds
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "models": self.models,
+            "directions": self.directions,
+            "apps": self.apps,
+            "base_config": asdict(self.base_config),
+            "variants": [v.to_dict() for v in self.variants],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        base = data.get("base_config", {})
+        unknown = set(base) - _CONFIG_FIELDS
+        if unknown:
+            raise CampaignError(
+                f"campaign {data.get('name')!r} base_config has unknown "
+                f"field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            models=data.get("models"),
+            directions=data.get("directions"),
+            apps=data.get("apps"),
+            base_config=PipelineConfig(**base),
+            variants=[Variant.from_dict(v) for v in data.get("variants", [])],
+        )
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One executable unit: a variant under one seed."""
+
+    variant: Variant
+    seed: int
+
+    @property
+    def session_name(self) -> str:
+        return f"{self.variant.name}-seed{self.seed}.jsonl"
+
+
+@dataclass
+class CellRun:
+    """A completed (or loaded) cell plus its results."""
+
+    variant: Variant
+    seed: int
+    results: List[ScenarioResult]
+    config_fingerprint: str
+    expected_scenarios: int
+    pipeline_runs: int = 0  # scenarios actually executed (not replayed)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.results) >= self.expected_scenarios
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, cell by cell (variant-major)."""
+
+    spec: CampaignSpec
+    directory: Path
+    runs: List[CellRun]
+
+    def by_variant(self) -> Dict[str, List[CellRun]]:
+        grouped: Dict[str, List[CellRun]] = {v.name: [] for v in self.spec.variants}
+        for run in self.runs:
+            grouped[run.variant.name].append(run)
+        return grouped
+
+    @property
+    def total_pipeline_runs(self) -> int:
+        return sum(r.pipeline_runs for r in self.runs)
+
+
+# ----------------------------------------------------------------------
+class CampaignRunner:
+    """Executes a :class:`CampaignSpec` into a campaign directory."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        root: Union[str, Path] = "campaigns",
+        jobs: int = 1,
+        executor: Optional[Executor] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.spec = spec
+        self.directory = Path(root) / spec.name
+        self.jobs = jobs
+        self.executor = executor or Executor()
+        self.baselines = BaselinePreparer(self.executor)
+        self.cache = ResultCache(self.directory / "cache")
+        self.sessions_dir = self.directory / "sessions"
+        self.sessions_dir.mkdir(parents=True, exist_ok=True)
+        self._log = log or (lambda _msg: None)
+        #: Scenarios per cell, known before any cell runs — the manifest
+        #: records it so loaders can tell truncated cells from finished ones.
+        self._grid_size = len(
+            ExperimentRunner(
+                executor=self.executor, baselines=self.baselines
+            ).scenarios(spec.models, spec.directions, spec.apps)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, progress: Optional[Callable] = None) -> CampaignResult:
+        """Execute every cell, persisting sessions + manifest as it goes."""
+        runs: List[CellRun] = []
+        cells = self.spec.cells()
+        self._write_manifest(runs, cells)
+        for cell in cells:
+            config = cell.variant.config(self.spec.base_config)
+            session = RunSession(
+                self.sessions_dir / cell.session_name, resume=True
+            )
+            already = len(session)
+            runner = ParallelExperimentRunner(
+                config=config,
+                profile=cell.variant.profile,
+                seed=cell.seed,
+                executor=self.executor,
+                jobs=self.jobs,
+                session=session,
+                cache=self.cache,
+                baselines=self.baselines,
+            )
+            results = runner.run(
+                models=self.spec.models,
+                directions=self.spec.directions,
+                apps=self.spec.apps,
+                progress=progress,
+            )
+            runs.append(CellRun(
+                variant=cell.variant,
+                seed=cell.seed,
+                results=results,
+                config_fingerprint=config.fingerprint(),
+                expected_scenarios=self._grid_size,
+                pipeline_runs=runner.pipeline_runs,
+            ))
+            self._log(
+                f"variant {cell.variant.name} seed {cell.seed}: "
+                f"{len(results)} scenario(s) — {runner.pipeline_runs} "
+                f"executed, {already} from session, "
+                f"{len(results) - already - runner.pipeline_runs} from cache"
+            )
+            self._write_manifest(runs, cells)
+        return CampaignResult(
+            spec=self.spec, directory=self.directory, runs=runs
+        )
+
+    # ------------------------------------------------------------------
+    def _write_manifest(
+        self, runs: List[CellRun], cells: List[CampaignCell]
+    ) -> None:
+        done = {(r.variant.name, r.seed): r for r in runs}
+        cell_entries = []
+        for cell in cells:
+            run = done.get((cell.variant.name, cell.seed))
+            cell_entries.append({
+                "variant": cell.variant.name,
+                "seed": cell.seed,
+                "profile": cell.variant.profile,
+                "session": f"sessions/{cell.session_name}",
+                "config_fingerprint": cell.variant.config(
+                    self.spec.base_config
+                ).fingerprint(),
+                "expected_scenarios": self._grid_size,
+                "completed": run is not None,
+                "scenarios": len(run.results) if run is not None else None,
+                "pipeline_runs": run.pipeline_runs if run is not None else None,
+            })
+        manifest = {
+            "type": "campaign-manifest",
+            "version": MANIFEST_FORMAT_VERSION,
+            "spec": self.spec.to_dict(),
+            "cells": cell_entries,
+        }
+        path = self.directory / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+def load_campaign(directory: Union[str, Path]) -> CampaignResult:
+    """Rebuild a :class:`CampaignResult` from a campaign directory.
+
+    Reads the manifest and every per-cell session; cells whose sessions are
+    missing or partial load with whatever results were recorded (their
+    ``complete`` flag reflects the manifest's expected count).
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        raise CampaignError(f"no campaign manifest at {path}")
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CampaignError(f"unreadable campaign manifest {path}: {exc}")
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("type") != "campaign-manifest"
+    ):
+        raise CampaignError(f"{path} is not a campaign manifest")
+    if manifest.get("version") != MANIFEST_FORMAT_VERSION:
+        raise CampaignError(
+            f"campaign manifest {path} has format version "
+            f"{manifest.get('version')!r}; this build reads version "
+            f"{MANIFEST_FORMAT_VERSION}"
+        )
+    spec = CampaignSpec.from_dict(manifest["spec"])
+    variants = {v.name: v for v in spec.variants}
+    runs: List[CellRun] = []
+    for entry in manifest.get("cells", []):
+        variant = variants.get(entry["variant"])
+        if variant is None:
+            raise CampaignError(
+                f"manifest cell references unknown variant "
+                f"{entry['variant']!r}"
+            )
+        session_path = directory / entry["session"]
+        results: List[ScenarioResult] = []
+        if session_path.exists():
+            results = list(RunSession(session_path, resume=True))
+        expected = entry.get("expected_scenarios")
+        if expected is None:
+            # Manifest predates the field: trust the completed flag so a
+            # cell interrupted mid-grid still reports as incomplete.
+            completed = bool(entry.get("completed"))
+            expected = len(results) if completed else len(results) + 1
+        runs.append(CellRun(
+            variant=variant,
+            seed=entry["seed"],
+            results=results,
+            config_fingerprint=entry.get("config_fingerprint", ""),
+            expected_scenarios=expected,
+            pipeline_runs=entry.get("pipeline_runs") or 0,
+        ))
+    return CampaignResult(spec=spec, directory=directory, runs=runs)
+
+
+def load_spec_file(path: Union[str, Path]) -> CampaignSpec:
+    """Load a declarative :class:`CampaignSpec` from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise CampaignError(f"cannot read campaign spec {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise CampaignError(f"campaign spec {path} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise CampaignError(f"campaign spec {path} must be a JSON object")
+    return CampaignSpec.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Built-in presets reproducing the paper's ablations.
+
+#: The representative grid slice the ablation benchmarks use: 2 models x
+#: 5 apps x both directions = 20 scenarios per (variant, seed) cell.
+ABLATION_MODELS = ["gpt4", "wizardcoder"]
+ABLATION_APPS = ["matrix-rotate", "jacobi", "bsearch", "entropy", "colorwheel"]
+
+
+def _knowledge_ablation() -> CampaignSpec:
+    """§III-B ablation: strip the language-knowledge document + summary."""
+    return CampaignSpec(
+        name="knowledge-ablation",
+        description=(
+            "LASSI with vs. without the SIII-B language-knowledge document "
+            "(ablated prompting a la Nichols et al.)"
+        ),
+        models=ABLATION_MODELS,
+        apps=ABLATION_APPS,
+        variants=[
+            Variant(name="baseline", description="full LASSI pipeline"),
+            Variant(
+                name="no-knowledge",
+                overrides={"include_knowledge": False},
+                description="SIII-B knowledge document dropped",
+            ),
+        ],
+    )
+
+
+def _self_correction_ablation() -> CampaignSpec:
+    """§III-D ablation: disable the compile/execute feedback loops."""
+    return CampaignSpec(
+        name="self-correction-ablation",
+        description=(
+            "LASSI with vs. without the SIII-D self-correcting feedback "
+            "loops (single-shot generation)"
+        ),
+        models=ABLATION_MODELS,
+        apps=ABLATION_APPS,
+        variants=[
+            Variant(name="baseline", description="full LASSI pipeline"),
+            Variant(
+                name="no-self-correction",
+                overrides={"self_correction": False},
+                description="SIII-D loops disabled; one attempt only",
+            ),
+        ],
+    )
+
+
+def _max_corrections_sweep() -> CampaignSpec:
+    """§III-D cap sweep around the paper's worst successful cell (34)."""
+    caps = (0, 10, 33, 34, 40)
+    return CampaignSpec(
+        name="max-corrections-sweep",
+        description=(
+            "SIII-D self-correction cap swept across the success threshold "
+            "of Codestral/pathfinder (34 corrections, Table VIIa)"
+        ),
+        models=["codestral"],
+        directions=["cuda2omp"],
+        apps=["pathfinder"],
+        variants=[
+            Variant(
+                name=f"cap-{cap}",
+                overrides={"max_corrections": cap},
+                description=f"max_corrections={cap}",
+            )
+            for cap in caps
+        ],
+    )
+
+
+def _stochastic_replicates() -> CampaignSpec:
+    """Multi-seed stochastic replicates: dispersion, not single numbers."""
+    seeds = [1, 2, 3, 4, 5]
+    return CampaignSpec(
+        name="stochastic-replicates",
+        description=(
+            "stochastic-profile replicates across 5 seeds, reported as "
+            "mean +/- stddev per headline metric"
+        ),
+        models=["gpt4", "codestral"],
+        apps=["layout", "entropy", "bsearch"],
+        variants=[
+            Variant(name="baseline", profile="stochastic", seeds=list(seeds)),
+            Variant(
+                name="no-knowledge",
+                overrides={"include_knowledge": False},
+                profile="stochastic",
+                seeds=list(seeds),
+                description="SIII-B knowledge document dropped",
+            ),
+        ],
+    )
+
+
+PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
+    "knowledge-ablation": _knowledge_ablation,
+    "self-correction-ablation": _self_correction_ablation,
+    "max-corrections-sweep": _max_corrections_sweep,
+    "stochastic-replicates": _stochastic_replicates,
+}
+
+
+def preset_names() -> List[str]:
+    return sorted(PRESETS)
+
+
+def get_preset(name: str) -> CampaignSpec:
+    try:
+        builder = PRESETS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown campaign preset {name!r}; available: "
+            f"{', '.join(preset_names())}"
+        )
+    return builder()

@@ -25,9 +25,10 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Iterable, List, Optional
 
-from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import ExperimentRunner, ScenarioResult
 from repro.experiments.session import RunSession
-from repro.pipeline import PipelineConfig
+from repro.pipeline import BaselinePreparer, PipelineConfig
 from repro.toolchain import Executor
 
 #: Upper bound on worker threads; the grid is only 80 cells wide.
@@ -52,12 +53,18 @@ class ParallelExperimentRunner(ExperimentRunner):
         executor: Optional[Executor] = None,
         jobs: int = 1,
         session: Optional[RunSession] = None,
+        cache: Optional[ResultCache] = None,
+        baselines: Optional[BaselinePreparer] = None,
     ) -> None:
-        super().__init__(config=config, profile=profile, seed=seed, executor=executor)
+        super().__init__(
+            config=config, profile=profile, seed=seed, executor=executor,
+            baselines=baselines,
+        )
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = min(jobs, MAX_JOBS)
         self.session = session
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def run(
@@ -69,8 +76,9 @@ class ParallelExperimentRunner(ExperimentRunner):
         session: Optional[RunSession] = None,
     ) -> List[ScenarioResult]:
         session = session or self.session
+        fingerprint = self.config_fingerprint
         if session is not None:
-            session.bind(self.profile, self.seed)
+            session.bind(self.profile, self.seed, fingerprint)
 
         scenarios = self.scenarios(models, directions, apps)
         results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
@@ -80,8 +88,17 @@ class ParallelExperimentRunner(ExperimentRunner):
             recorded = session.get(scenario) if session is not None else None
             if recorded is not None:
                 results[i] = recorded
-            else:
-                pending.append(i)
+                continue
+            if self.cache is not None:
+                replayed = self.cache.get(
+                    scenario, self.profile, self.seed, fingerprint
+                )
+                if replayed is not None:
+                    results[i] = replayed
+                    if session is not None:
+                        session.record(replayed)
+                    continue
+            pending.append(i)
 
         if pending:
             with ThreadPoolExecutor(
@@ -96,6 +113,8 @@ class ParallelExperimentRunner(ExperimentRunner):
                         i = futures[future]
                         res = future.result()  # worker exceptions surface here
                         results[i] = res
+                        if self.cache is not None:
+                            self.cache.put(res, self.profile, self.seed, fingerprint)
                         if session is not None:
                             session.record(res)
                         if progress is not None:

@@ -1,0 +1,99 @@
+"""Campaign comparison reports: variant x direction headline tables.
+
+Each populated direction gets one table whose rows are the campaign's
+variants and whose columns are the §V-B/C headline metrics.  Variants with
+several seed replicates render every metric as ``mean ±stddev`` (sample
+stddev over the per-seed aggregates); single-seed variants render the
+plain value.  Incomplete cells — a campaign killed mid-variant — are
+flagged rather than silently averaged in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.campaign import CampaignResult, CellRun
+from repro.experiments.stats import (
+    DIRECTION_NAMES,
+    HEADLINE_METRICS,
+    PAPER_HEADLINES,
+    direction_order,
+    direction_stats,
+    replicate_stats,
+)
+from repro.utils.tables import render_table
+
+_METRIC_HEADERS = {
+    "success_rate": "Success",
+    "within_10pct_rate": "<=10% slow",
+    "high_similarity_rate": "Sim-T>=0.6",
+    "first_try_rate": "0 self-corr",
+}
+
+
+def render_campaign_report(campaign: CampaignResult) -> str:
+    """Render the full variant-comparison report for one campaign."""
+    spec = campaign.spec
+    lines: List[str] = [f"Campaign: {spec.name}"]
+    if spec.description:
+        lines.append(f"  {spec.description}")
+
+    by_variant = campaign.by_variant()
+
+    # variant -> direction -> list of per-seed AggregateStats.
+    per_direction: Dict[str, Dict[str, List]] = {}
+    incomplete: List[str] = []
+    for variant in spec.variants:
+        runs: List[CellRun] = by_variant.get(variant.name, [])
+        for run in runs:
+            if not run.complete:
+                incomplete.append(f"{variant.name} (seed {run.seed})")
+            for direction, agg in direction_stats(run.results).items():
+                per_direction.setdefault(direction, {}).setdefault(
+                    variant.name, []
+                ).append(agg)
+
+    if not per_direction:
+        lines.append("  (no recorded scenarios yet)")
+        return "\n".join(lines)
+
+    headers = ["Variant", "Seeds", "Scenarios"] + [
+        _METRIC_HEADERS[m] for m in HEADLINE_METRICS
+    ]
+    for direction in direction_order(per_direction):
+        variant_stats = per_direction[direction]
+        rows: List[List[object]] = []
+        for variant in spec.variants:
+            per_seed = variant_stats.get(variant.name)
+            if not per_seed:
+                continue
+            summaries = replicate_stats(per_seed)
+            scenario_counts = sorted({s.total for s in per_seed})
+            rows.append(
+                [
+                    variant.name,
+                    len(per_seed),
+                    "/".join(str(c) for c in scenario_counts),
+                ]
+                + [summaries[m].render() for m in HEADLINE_METRICS]
+            )
+        paper = PAPER_HEADLINES.get(direction)
+        if paper is not None:
+            rows.append(
+                ["(paper)", "-", "-"]
+                + [f"{paper[m]:.1%}" for m in HEADLINE_METRICS]
+            )
+        title = (
+            f"{spec.name}: {DIRECTION_NAMES.get(direction, direction)} "
+            f"({direction})"
+        )
+        lines.append("")
+        lines.append(render_table(headers, rows, title=title))
+
+    if incomplete:
+        lines.append("")
+        lines.append(
+            "warning: incomplete cell(s), statistics may be partial: "
+            + ", ".join(incomplete)
+        )
+    return "\n".join(lines)

@@ -10,17 +10,12 @@ reused across all models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.hecbench import AppSpec, all_apps
-from repro.llm.profiles import (
-    CUDA2OMP,
-    OMP2CUDA,
-    CellPlan,
-    direction_key,
-    paper_plan,
-)
+from repro.llm.profiles import CUDA2OMP, OMP2CUDA, CellPlan, paper_plan
 from repro.llm.registry import all_models
 from repro.llm.simulated import SimulatedLLM
 from repro.metrics.aggregate import ScenarioMetrics
@@ -94,6 +89,7 @@ class ExperimentRunner:
         profile: str = "paper",
         seed: int = 2024,
         executor: Optional[Executor] = None,
+        baselines: Optional[BaselinePreparer] = None,
     ) -> None:
         if profile not in ("paper", "stochastic"):
             raise ValueError(f"unknown profile {profile!r}")
@@ -101,7 +97,18 @@ class ExperimentRunner:
         self.profile = profile
         self.seed = seed
         self.executor = executor or Executor()
-        self.baselines = BaselinePreparer(self.executor)
+        # A campaign shares one preparer across every variant runner so each
+        # (app, dialect) baseline is still built exactly once campaign-wide.
+        self.baselines = baselines or BaselinePreparer(self.executor)
+        #: Number of pipelines actually executed (cache/session replays are
+        #: not counted) — campaign cache tests assert on this.
+        self.pipeline_runs = 0
+        self._counter_lock = threading.Lock()
+
+    @property
+    def config_fingerprint(self) -> str:
+        """Content hash of ``self.config`` (see PipelineConfig.fingerprint)."""
+        return self.config.fingerprint()
 
     # ------------------------------------------------------------------
     def scenarios(
@@ -126,6 +133,8 @@ class ExperimentRunner:
 
         app = app or get_app(scenario.app_name)
         source_dialect, target_dialect = DIRECTIONS[scenario.direction]
+        with self._counter_lock:
+            self.pipeline_runs += 1
 
         plan: Optional[CellPlan] = None
         if self.profile == "paper":

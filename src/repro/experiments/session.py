@@ -108,13 +108,21 @@ class RunSession:
             )
 
     # ------------------------------------------------------------------
-    def bind(self, profile: str, seed: int) -> None:
-        """Pin the session to a runner's (profile, seed) configuration.
+    def bind(
+        self,
+        profile: str,
+        seed: int,
+        config_fingerprint: Optional[str] = None,
+    ) -> None:
+        """Pin the session to a runner's (profile, seed, config) identity.
 
         Writes the header on a fresh session; on resume, refuses to mix
-        results produced under a different profile or seed — resuming a
-        ``stochastic seed=3`` grid with ``seed=4`` would silently blend two
-        different experiments.
+        results produced under a different profile, seed or pipeline
+        configuration — resuming a ``stochastic seed=3`` grid with
+        ``seed=4``, or an ablated-config grid with the full config, would
+        silently blend two different experiments.  Headers written before
+        the fingerprint existed (no ``config_fingerprint`` key) are
+        accepted as-is.
         """
         if self._meta is not None:
             got = (self._meta.get("profile"), self._meta.get("seed"))
@@ -124,12 +132,24 @@ class RunSession:
                     f"{got[0]!r} seed={got[1]!r}; cannot resume with "
                     f"profile={profile!r} seed={seed!r}"
                 )
+            recorded_fp = self._meta.get("config_fingerprint")
+            if (
+                config_fingerprint is not None
+                and recorded_fp is not None
+                and recorded_fp != config_fingerprint
+            ):
+                raise SessionError(
+                    f"session {self.path} was recorded with pipeline config "
+                    f"{recorded_fp}; cannot resume with config "
+                    f"{config_fingerprint}"
+                )
             return
         self._meta = {
             "type": "session",
             "version": SESSION_FORMAT_VERSION,
             "profile": profile,
             "seed": seed,
+            "config_fingerprint": config_fingerprint,
         }
         self._append(self._meta)
 

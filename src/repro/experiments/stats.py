@@ -1,8 +1,18 @@
-"""Headline statistics (§V-B/C) computed from scenario results."""
+"""Headline statistics (§V-B/C) computed from scenario results.
+
+Beyond the single-grid headline numbers, this module aggregates *seed
+replicates*: a stochastic variant run under several seeds yields one
+:class:`~repro.metrics.aggregate.AggregateStats` per seed, and
+:func:`replicate_stats` folds them into mean/min/max/stddev per headline
+metric — following Chiang & Sasaki's caution that single-number cluster
+statistics hide run-to-run dispersion.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
 
 from repro.llm.profiles import CUDA2OMP, OMP2CUDA
 from repro.metrics.aggregate import AggregateStats, aggregate
@@ -23,40 +33,112 @@ PAPER_HEADLINES = {
     },
 }
 
+#: The four headline metrics, in reporting order.
+HEADLINE_METRICS = (
+    "success_rate",
+    "within_10pct_rate",
+    "high_similarity_rate",
+    "first_try_rate",
+)
+
+DIRECTION_NAMES = {OMP2CUDA: "OpenMP -> CUDA", CUDA2OMP: "CUDA -> OpenMP"}
+
 
 def direction_stats(results: Iterable) -> Dict[str, AggregateStats]:
-    """Aggregate per translation direction."""
-    buckets: Dict[str, List] = {OMP2CUDA: [], CUDA2OMP: []}
+    """Aggregate per translation direction.
+
+    Only directions that actually appear in ``results`` are returned, and
+    any direction key is tolerated — a filtered grid (or a future third
+    direction) must not KeyError its way out of reporting.
+    """
+    buckets: Dict[str, List] = {}
     for sr in results:
-        buckets[sr.scenario.direction].append(sr.metrics)
+        buckets.setdefault(sr.scenario.direction, []).append(sr.metrics)
     return {
         direction: aggregate(metrics) for direction, metrics in buckets.items()
     }
 
 
+def direction_order(directions: Iterable[str]) -> List[str]:
+    """Paper directions first (in paper order), then anything else sorted."""
+    directions = set(directions)
+    known = [d for d in (OMP2CUDA, CUDA2OMP) if d in directions]
+    return known + sorted(directions - {OMP2CUDA, CUDA2OMP})
+
+
 def headline_summary(results: Iterable) -> str:
-    """Render measured-vs-paper headline numbers for both directions."""
+    """Render measured-vs-paper headline numbers per populated direction.
+
+    Directions with zero scenarios are skipped entirely instead of printing
+    misleading ``0.0% (paper 80.0%)`` rows; directions the paper did not
+    report render without the paper column.
+    """
     stats = direction_stats(results)
     lines: List[str] = []
-    names = {OMP2CUDA: "OpenMP -> CUDA", CUDA2OMP: "CUDA -> OpenMP"}
-    for direction in (OMP2CUDA, CUDA2OMP):
+    labels = {
+        "success_rate": "success rate:         ",
+        "within_10pct_rate": "within 10% or faster: ",
+        "high_similarity_rate": "Sim-T >= 0.6:         ",
+        "first_try_rate": "zero self-corrections:",
+    }
+    for direction in direction_order(stats):
         agg = stats[direction]
-        paper = PAPER_HEADLINES[direction]
-        lines.append(f"{names[direction]} ({agg.total} scenarios)")
-        lines.append(
-            f"  success rate:            {agg.success_rate:6.1%}  "
-            f"(paper {paper['success_rate']:.1%})"
-        )
-        lines.append(
-            f"  within 10% or faster:    {agg.within_10pct_rate:6.1%}  "
-            f"(paper {paper['within_10pct_rate']:.1%})"
-        )
-        lines.append(
-            f"  Sim-T >= 0.6:            {agg.high_similarity_rate:6.1%}  "
-            f"(paper {paper['high_similarity_rate']:.1%})"
-        )
-        lines.append(
-            f"  zero self-corrections:   {agg.first_try_rate:6.1%}  "
-            f"(paper {paper['first_try_rate']:.1%})"
-        )
+        if agg.total == 0:
+            continue
+        paper = PAPER_HEADLINES.get(direction)
+        name = DIRECTION_NAMES.get(direction, direction)
+        lines.append(f"{name} ({agg.total} scenarios)")
+        for metric in HEADLINE_METRICS:
+            value = getattr(agg, metric)
+            suffix = f"  (paper {paper[metric]:.1%})" if paper else ""
+            lines.append(f"  {labels[metric]}   {value:6.1%}{suffix}")
+    if not lines:
+        return "no scenarios to summarise"
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Seed-replicate aggregation (campaign reporting).
+
+@dataclass(frozen=True)
+class ReplicateSummary:
+    """Dispersion of one metric across seed replicates."""
+
+    n: int
+    mean: float
+    min: float
+    max: float
+    stddev: float  # sample stddev (0.0 for a single replicate)
+
+    def render(self) -> str:
+        """``80.0%`` for one replicate, ``80.0% ±2.1%`` for several."""
+        if self.n <= 1:
+            return f"{self.mean:.1%}"
+        return f"{self.mean:.1%} ±{self.stddev:.1%}"
+
+
+def summarize_values(values: Sequence[float]) -> ReplicateSummary:
+    """Mean/min/max/sample-stddev of a non-empty value sequence."""
+    if not values:
+        raise ValueError("cannot summarise zero replicates")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        stddev = math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1))
+    else:
+        stddev = 0.0
+    return ReplicateSummary(
+        n=n, mean=mean, min=min(values), max=max(values), stddev=stddev
+    )
+
+
+def replicate_stats(
+    per_seed: Sequence[AggregateStats],
+) -> Dict[str, ReplicateSummary]:
+    """Fold per-seed aggregate stats into per-metric dispersion summaries."""
+    if not per_seed:
+        raise ValueError("cannot summarise zero replicates")
+    return {
+        metric: summarize_values([getattr(s, metric) for s in per_seed])
+        for metric in HEADLINE_METRICS
+    }

@@ -93,24 +93,24 @@ def solve_scales(
 
     det = a_c * b_o - a_o * b_c
     exact = False
-    w = l = None
+    w = lat = None
     if alpha_override is None and abs(det) > 1e-30:
         w = (t_c * b_o - t_o * b_c) / det
-        l = (a_c * t_o - a_o * t_c) / det
-        exact = w > 0 and l > 0
+        lat = (a_c * t_o - a_o * t_c) / det
+        exact = w > 0 and lat > 0
     if alpha_override is not None:
         alpha = min(0.999, max(0.001, alpha_override))
         w = alpha * t_c / a_c
-        l = (1.0 - alpha) * t_c / b_c
+        lat = (1.0 - alpha) * t_c / b_c
         exact = False
     elif not exact:
         # Constrained fallback: keep the CUDA baseline exact and move along
-        # the feasible line w = alpha*t_c/a_c, l = (1-alpha)*t_c/b_c to get
+        # the feasible line w = alpha*t_c/a_c, lat = (1-alpha)*t_c/b_c to get
         # the OpenMP runtime as close to its target as the structure allows
         # (t_o is linear and monotone in alpha, so clamping suffices).
         if a_c <= 0 or b_c <= 0:
             denom = a_c + b_c
-            w = l = t_c / denom if denom > 0 else 1.0
+            w = lat = t_c / denom if denom > 0 else 1.0
         else:
             to_full_w = a_o * t_c / a_c + 0.0
             to_full_l = b_o * t_c / b_c + 0.0
@@ -123,13 +123,13 @@ def solve_scales(
             # positive (zero scales are rejected by the perf model).
             alpha = min(0.999, max(0.001, alpha))
             w = alpha * t_c / a_c
-            l = (1.0 - alpha) * t_c / b_c
-    pred_c = a_c * w + b_c * l
-    pred_o = a_o * w + b_o * l
+            lat = (1.0 - alpha) * t_c / b_c
+    pred_c = a_c * w + b_c * lat
+    pred_o = a_o * w + b_o * lat
     return CalibrationResult(
         app=app.name,
         work_scale=w,
-        launch_scale=l,
+        launch_scale=lat,
         predicted_cuda=pred_c,
         predicted_omp=pred_o,
         exact=exact,

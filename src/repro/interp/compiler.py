@@ -18,8 +18,8 @@ import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import GuestRuntimeError, InterpreterError
-from repro.interp.memory import Buffer, ElemRef, MemoryManager, Pointer, ScalarRef
-from repro.interp.values import c_div, c_mod, c_printf, truthy
+from repro.interp.memory import ElemRef, MemoryManager, Pointer, ScalarRef
+from repro.interp.values import c_div, c_mod, truthy
 from repro.minilang import ast
 from repro.minilang import types as ty
 from repro.minilang.builtins import BUILTINS, CONSTANTS, GEOMETRY_BUILTINS
@@ -116,8 +116,6 @@ class FunctionCompiler:
     # Expressions
     # ==================================================================
     def compile_expr(self, e: ast.Expr) -> Callable:
-        ctx = self.ctx
-
         if isinstance(e, ast.IntLit):
             v = e.value
             return lambda env: v

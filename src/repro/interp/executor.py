@@ -10,7 +10,7 @@ profile event the performance model consumes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import GuestRuntimeError, InterpreterError
@@ -499,7 +499,6 @@ class ProgramRunner:
             if fc.barrier_mode:
                 self._run_barrier_kernel(fc, body, base_env, grid, block)
             else:
-                geom = None
                 for bid in range(grid):
                     for tid in range(block):
                         ctx.geom = (tid, bid, block, grid)

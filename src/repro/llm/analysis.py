@@ -12,8 +12,8 @@ Small, purpose-built passes over the mini-language AST:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
 
 from repro.minilang import ast
 

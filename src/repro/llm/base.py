@@ -10,7 +10,7 @@ backend is a one-line change in the pipeline configuration.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 

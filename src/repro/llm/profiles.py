@@ -21,8 +21,8 @@ beyond the 80 paper cells.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 from repro.llm.faults import faults_for
 from repro.llm.transpiler import TranspileOptions

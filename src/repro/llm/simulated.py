@@ -28,7 +28,7 @@ import re
 from typing import List, Optional
 
 from repro.llm.base import ChatMessage, GenerationResult, LLMClient
-from repro.llm.faults import FAULTS, Fault, faults_for, get_fault
+from repro.llm.faults import Fault, faults_for, get_fault
 from repro.llm.profiles import (
     DIRECTION_STYLE_TWEAKS,
     CellPlan,

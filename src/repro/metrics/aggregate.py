@@ -13,7 +13,7 @@ Computes the paper's headline numbers for a direction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.metrics.runtime import within_10pct_or_faster
 from repro.metrics.similarity import HIGH_SIMILARITY_THRESHOLD

@@ -8,7 +8,7 @@ fed back into LASSI's correction prompt has to look like compiler output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.minilang.source import Span, UNKNOWN_SPAN
 from repro.minilang.types import Type

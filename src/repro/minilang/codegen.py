@@ -9,7 +9,7 @@ the Sim-T / Sim-L similarity metrics realistic spread across LLMs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.minilang import ast

@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 from repro.minilang import ast
 from repro.minilang.diagnostics import DiagnosticBag
 from repro.minilang.lexer import Lexer, Token, TokenKind
-from repro.minilang.source import Dialect, SourceFile, Span, UNKNOWN_SPAN
+from repro.minilang.source import Dialect, SourceFile, Span
 from repro.minilang import types as ty
 
 _TYPE_KEYWORDS = {"int", "float", "double", "char", "bool", "void", "long", "unsigned", "size_t"}

@@ -10,7 +10,7 @@ matcher keys on them the way a real model attends to error tokens.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.minilang import ast
 from repro.minilang import types as ty
@@ -514,7 +514,7 @@ class Analyzer:
             return ty.INT
         self.diagnostics.error(
             "bad-member",
-            f"member reference base is not a structure",
+            "member reference base is not a structure",
             expr.span,
         )
         return None

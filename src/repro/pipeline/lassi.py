@@ -18,7 +18,9 @@ Loop structure follows the paper exactly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
 from repro.errors import ContextWindowExceeded
@@ -52,6 +54,16 @@ class PipelineConfig:
     @property
     def effective_max_corrections(self) -> int:
         return self.max_corrections if self.self_correction else 0
+
+    def fingerprint(self) -> str:
+        """Content hash of the configuration (the cache/session identity).
+
+        Two configs with equal field values — however they were built —
+        share a fingerprint, so e.g. an explicit ``max_corrections=40``
+        variant hits the same cache entries as the defaults.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 class LassiPipeline:

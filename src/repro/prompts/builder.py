@@ -11,8 +11,8 @@ lower-bound window in Table V is Wizard Coder's 16,384 tokens).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.errors import ContextWindowExceeded
 from repro.llm.base import ChatMessage, LLMClient

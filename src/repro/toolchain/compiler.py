@@ -9,7 +9,7 @@ functional requirement, not cosmetics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.minilang import analyze, parse

@@ -1,0 +1,158 @@
+"""Content-addressed result cache: hit/miss, fingerprint invalidation,
+corruption tolerance, and integration with the parallel runner."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import ParallelExperimentRunner, ResultCache, cache_key
+from repro.experiments.runner import Scenario
+from repro.llm.profiles import OMP2CUDA
+from repro.pipeline import PipelineConfig
+
+SCENARIO = Scenario("gpt4", OMP2CUDA, "layout")
+FP = PipelineConfig().fingerprint()
+
+
+def _run_one(cache, config=None, **kw):
+    runner = ParallelExperimentRunner(config=config, cache=cache, **kw)
+    results = runner.run(models=["gpt4"], directions=[OMP2CUDA],
+                         apps=["layout"])
+    return runner, results
+
+
+class TestFingerprint:
+    def test_equal_configs_share_a_fingerprint(self):
+        # However the config was built: defaults and explicit-default values
+        # are the same cache identity.
+        assert PipelineConfig().fingerprint() == PipelineConfig(
+            max_corrections=40
+        ).fingerprint()
+
+    def test_every_ablation_switch_changes_the_fingerprint(self):
+        base = PipelineConfig().fingerprint()
+        assert PipelineConfig(max_corrections=10).fingerprint() != base
+        assert PipelineConfig(include_knowledge=False).fingerprint() != base
+        assert PipelineConfig(self_correction=False).fingerprint() != base
+        assert PipelineConfig(verify_output=False).fingerprint() != base
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(SCENARIO, "paper", 2024, FP) is None
+        assert cache.misses == 1
+
+        _, results = _run_one(cache)
+        assert cache.stores == 1 and len(cache) == 1
+
+        replayed = cache.get(SCENARIO, "paper", 2024, FP)
+        assert cache.hits == 1
+        assert replayed is not None
+        assert replayed.scenario == SCENARIO
+        assert replayed.result.status == results[0].result.status
+        assert replayed.metrics == results[0].metrics
+
+    def test_key_covers_all_identity_dimensions(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _run_one(cache)
+        other_fp = PipelineConfig(include_knowledge=False).fingerprint()
+        # Same scenario under any other identity dimension is a miss.
+        assert cache.get(SCENARIO, "stochastic", 2024, FP) is None
+        assert cache.get(SCENARIO, "paper", 7, FP) is None
+        assert cache.get(SCENARIO, "paper", 2024, other_fp) is None
+        assert cache.get(
+            Scenario("codestral", OMP2CUDA, "layout"), "paper", 2024, FP
+        ) is None
+        # 4 probe misses here + the runner's own initial miss.
+        assert cache.hits == 0 and cache.misses == 5
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _run_one(cache)
+        digest = cache_key(SCENARIO, "paper", 2024, FP)
+        path = tmp_path / f"{digest}.json"
+
+        path.write_text("{not json")
+        assert cache.get(SCENARIO, "paper", 2024, FP) is None
+
+        # Valid JSON whose stored key does not match its digest (tampering /
+        # format drift) is rejected too.
+        entry = {"version": 1, "key": "0" * 64, "result": {}}
+        path.write_text(json.dumps(entry))
+        assert cache.get(SCENARIO, "paper", 2024, FP) is None
+
+    def test_unknown_format_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _run_one(cache)
+        digest = cache_key(SCENARIO, "paper", 2024, FP)
+        path = tmp_path / f"{digest}.json"
+        entry = json.loads(path.read_text())
+        entry["version"] = 999
+        path.write_text(json.dumps(entry))
+        assert cache.get(SCENARIO, "paper", 2024, FP) is None
+
+
+class TestRunnerIntegration:
+    def test_second_run_replays_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first, a = _run_one(cache)
+        assert first.pipeline_runs == 1
+
+        second, b = _run_one(cache)
+        # Nothing executed: no pipeline run, no baseline compile.
+        assert second.pipeline_runs == 0
+        assert second.baselines.compile_count == 0
+        assert [(r.scenario, r.result.status, r.metrics) for r in a] == [
+            (r.scenario, r.result.status, r.metrics) for r in b
+        ]
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _run_one(cache)
+        ablated, _ = _run_one(
+            cache, config=PipelineConfig(include_knowledge=False)
+        )
+        assert ablated.pipeline_runs == 1  # cache did not leak across configs
+        assert len(cache) == 2
+
+    def test_profile_and_seed_invalidate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _run_one(cache)
+        stochastic, _ = _run_one(cache, profile="stochastic", seed=7)
+        assert stochastic.pipeline_runs == 1
+        reseeded, _ = _run_one(cache, profile="stochastic", seed=8)
+        assert reseeded.pipeline_runs == 1
+        assert len(cache) == 3
+
+    def test_cache_hits_are_recorded_into_the_session(self, tmp_path):
+        from repro.experiments import RunSession
+
+        cache = ResultCache(tmp_path / "cache")
+        _run_one(cache)
+        path = tmp_path / "s.jsonl"
+        _run_one(cache, session=RunSession(path))
+        lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert sum(1 for ln in lines if ln["type"] == "scenario") == 1
+
+    def test_session_header_records_config_fingerprint(self, tmp_path):
+        from repro.experiments import RunSession
+
+        path = tmp_path / "s.jsonl"
+        _run_one(None, session=RunSession(path))
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["config_fingerprint"] == FP
+
+    def test_resume_refuses_mismatched_config(self, tmp_path):
+        import pytest
+
+        from repro.experiments import RunSession, SessionError
+
+        path = tmp_path / "s.jsonl"
+        _run_one(None, session=RunSession(path))
+        with pytest.raises(SessionError):
+            _run_one(
+                None,
+                config=PipelineConfig(include_knowledge=False),
+                session=RunSession(path, resume=True),
+            )

@@ -12,7 +12,6 @@ from repro.experiments import (
     render_table5,
     render_translation_tables,
 )
-from repro.experiments.runner import Scenario
 from repro.llm.profiles import CUDA2OMP, OMP2CUDA
 
 

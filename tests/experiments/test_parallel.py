@@ -113,12 +113,12 @@ class TestRunSession:
         ParallelExperimentRunner(jobs=2, session=RunSession(path)).run(
             models=["gpt4"], directions=[OMP2CUDA], apps=["layout", "entropy"]
         )
-        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        lines = [json.loads(ln) for ln in path.read_text().splitlines()]
         assert lines[0]["type"] == "session"
         assert lines[0]["profile"] == "paper" and lines[0]["seed"] == 2024
-        scenario_lines = [l for l in lines if l["type"] == "scenario"]
+        scenario_lines = [ln for ln in lines if ln["type"] == "scenario"]
         assert len(scenario_lines) == 2
-        assert {l["scenario"]["app_name"] for l in scenario_lines} == {
+        assert {ln["scenario"]["app_name"] for ln in scenario_lines} == {
             "layout", "entropy"
         }
 

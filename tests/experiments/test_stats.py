@@ -1,0 +1,112 @@
+"""Tests for headline statistics: empty/partial inputs and replicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import direction_stats, headline_summary, replicate_stats
+from repro.experiments.runner import Scenario, ScenarioResult
+from repro.experiments.stats import summarize_values
+from repro.llm.profiles import CUDA2OMP, OMP2CUDA
+from repro.metrics.aggregate import AggregateStats
+from repro.pipeline.results import LassiResult
+
+
+def _scenario_result(direction, status="success", model="gpt4", app="layout"):
+    source, target = (
+        ("omp", "cuda") if direction == OMP2CUDA else ("cuda", "omp")
+    )
+    return ScenarioResult(
+        scenario=Scenario(model_key=model, direction=direction, app_name=app),
+        result=LassiResult(
+            status=status,
+            source_dialect=source,
+            target_dialect=target,
+            model=model,
+        ),
+    )
+
+
+class TestDirectionStats:
+    def test_empty_input_yields_no_directions(self):
+        assert direction_stats([]) == {}
+
+    def test_only_populated_directions_present(self):
+        stats = direction_stats([_scenario_result(OMP2CUDA)])
+        assert set(stats) == {OMP2CUDA}
+        assert stats[OMP2CUDA].total == 1
+
+    def test_unknown_direction_key_tolerated(self):
+        # A filtered or future grid must not KeyError out of reporting.
+        stats = direction_stats([_scenario_result("cuda2sycl")])
+        assert stats["cuda2sycl"].total == 1
+
+
+class TestHeadlineSummary:
+    def test_empty_results(self):
+        assert headline_summary([]) == "no scenarios to summarise"
+
+    def test_single_direction_skips_the_empty_one(self):
+        # Evaluating only cuda2omp must not print an all-zero
+        # "OpenMP -> CUDA ... 0.0% (paper 80.0%)" block.
+        text = headline_summary([_scenario_result(CUDA2OMP)])
+        assert "CUDA -> OpenMP" in text
+        assert "OpenMP -> CUDA" not in text
+        assert "paper 85.0%" in text
+        assert "paper 80.0%" not in text
+
+    def test_both_directions_render_in_paper_order(self):
+        text = headline_summary(
+            [_scenario_result(CUDA2OMP), _scenario_result(OMP2CUDA)]
+        )
+        assert text.index("OpenMP -> CUDA") < text.index("CUDA -> OpenMP")
+
+    def test_unknown_direction_renders_without_paper_column(self):
+        text = headline_summary([_scenario_result("cuda2sycl")])
+        assert "cuda2sycl (1 scenarios)" in text
+        assert "paper" not in text
+
+
+class TestReplicateStats:
+    def _agg(self, success_rate):
+        return AggregateStats(
+            total=10,
+            successes=int(success_rate * 10),
+            success_rate=success_rate,
+            within_10pct_rate=0.5,
+            high_similarity_rate=0.5,
+            first_try_rate=0.5,
+        )
+
+    def test_single_replicate_has_zero_stddev(self):
+        summary = replicate_stats([self._agg(0.8)])["success_rate"]
+        assert summary.n == 1
+        assert summary.mean == pytest.approx(0.8)
+        assert summary.stddev == 0.0
+        assert summary.render() == "80.0%"
+
+    def test_multi_replicate_dispersion(self):
+        summary = replicate_stats(
+            [self._agg(0.6), self._agg(0.8), self._agg(1.0)]
+        )["success_rate"]
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(0.8)
+        assert summary.min == pytest.approx(0.6)
+        assert summary.max == pytest.approx(1.0)
+        assert summary.stddev == pytest.approx(0.2)  # sample stddev
+        assert summary.render() == "80.0% ±20.0%"
+
+    def test_all_four_metrics_summarised(self):
+        summaries = replicate_stats([self._agg(0.5)])
+        assert set(summaries) == {
+            "success_rate",
+            "within_10pct_rate",
+            "high_similarity_rate",
+            "first_try_rate",
+        }
+
+    def test_zero_replicates_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_stats([])
+        with pytest.raises(ValueError):
+            summarize_values([])

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.gpu import A100_40GB, HOST_EPYC, PerformanceModel
+from repro.gpu import A100_40GB, PerformanceModel
 from repro.gpu.stats import (
     ExecutionProfile,
     HostParallelEvent,
@@ -166,12 +166,12 @@ class TestBreakdown:
     @given(st.floats(min_value=0.1, max_value=1e6),
            st.floats(min_value=0.1, max_value=1e6))
     @settings(max_examples=30, deadline=None)
-    def test_time_monotone_in_scales(self, w, l):
+    def test_time_monotone_in_scales(self, w, lat):
         pm = PerformanceModel()
         p = self.make_profile()
-        base = pm.seconds(p, w, l)
-        assert pm.seconds(p, w * 2, l) > base
-        assert pm.seconds(p, w, l * 2) > base
+        base = pm.seconds(p, w, lat)
+        assert pm.seconds(p, w * 2, lat) > base
+        assert pm.seconds(p, w, lat * 2) > base
 
 
 class TestOpCounters:

@@ -5,11 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.hecbench import all_apps, get_app
-from repro.hecbench.calibration import (
-    breakdown_components,
-    measure_components,
-    solve_scales,
-)
+from repro.hecbench.calibration import measure_components, solve_scales
 from repro.minilang.source import Dialect
 
 

@@ -3,7 +3,6 @@ shared memory + barriers, and profile events."""
 
 from __future__ import annotations
 
-from repro.gpu.stats import KernelEvent, TransferEvent
 from repro.minilang.source import Dialect
 from tests.interp.helpers import run_source
 

@@ -3,7 +3,7 @@ reductions, collapse, host parallelism, and profile events."""
 
 from __future__ import annotations
 
-from repro.gpu.stats import HostParallelEvent, KernelEvent
+from repro.gpu.stats import HostParallelEvent
 from repro.minilang.source import Dialect
 from tests.interp.helpers import run_source
 

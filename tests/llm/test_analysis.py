@@ -85,7 +85,7 @@ class TestSubstitute:
             Dialect.OMP,
         )
         substitute(body, {"a": "arr"})
-        from repro.minilang import generate, ast
+        from repro.minilang import ast
 
         pragma = next(
             s for s in ast.walk_stmts(body) if isinstance(s, ast.Pragma)

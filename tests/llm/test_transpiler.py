@@ -118,11 +118,11 @@ class TestStyles:
         )
         assert run.stdout == ref.stdout
         # declarations come before the first assignment
-        lines = [l.strip() for l in code.splitlines() if l.strip()]
+        lines = [ln.strip() for ln in code.splitlines() if ln.strip()]
         first_assign = next(
-            i for i, l in enumerate(lines) if l.startswith("cols =")
+            i for i, ln in enumerate(lines) if ln.startswith("cols =")
         )
-        decl = next(i for i, l in enumerate(lines) if l == "int cols;")
+        decl = next(i for i, ln in enumerate(lines) if ln == "int cols;")
         assert decl < first_assign
 
     def test_kernel_naming_and_block_size(self):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.minilang import analyze, generate, parse
+from repro.minilang import generate, parse
 from repro.minilang.codegen import CodegenStyle
 from repro.minilang.source import Dialect, SourceFile
 

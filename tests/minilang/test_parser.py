@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.minilang import ast, parse
 from repro.minilang.source import Dialect, SourceFile

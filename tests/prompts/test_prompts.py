@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ContextWindowExceeded
-from repro.llm.base import ChatMessage, GenerationResult, LLMClient
+from repro.llm.base import GenerationResult, LLMClient
 from repro.minilang.source import Dialect
 from repro.prompts import (
     PromptBuilder,

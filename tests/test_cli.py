@@ -67,9 +67,9 @@ class TestEvaluateParallel:
                 "--direction", "omp2cuda", "--jobs", "2", "--session", session]
         assert main(argv) == 0
         capsys.readouterr()
-        lines = [json.loads(l) for l in open(session)]
+        lines = [json.loads(ln) for ln in open(session)]
         assert lines[0]["type"] == "session"
-        assert sum(1 for l in lines if l["type"] == "scenario") == 2
+        assert sum(1 for ln in lines if ln["type"] == "scenario") == 2
 
         # Resuming a completed session re-executes nothing and still renders.
         assert main(argv + ["--resume"]) == 0
@@ -82,20 +82,34 @@ class TestEvaluateParallel:
         assert "--resume requires --session" in capsys.readouterr().err
 
 
+class TestEvaluateEmptyFilters:
+    def test_empty_models_filter_is_a_usage_error(self, capsys):
+        # nargs="*" with no values must not silently run the full grid.
+        assert main(["evaluate", "--models"]) == 2
+        assert "--models requires at least one value" in capsys.readouterr().err
+
+    def test_empty_apps_filter_is_a_usage_error(self, capsys):
+        assert main(["evaluate", "--apps", "--direction", "omp2cuda"]) == 2
+        assert "--apps requires at least one value" in capsys.readouterr().err
+
+
 class TestTableForwardsProfileAndSeed:
-    def test_table6_forwards_profile_and_seed(self, monkeypatch, capsys):
+    def test_table6_forwards_profile_seed_and_jobs(self, monkeypatch, capsys):
         captured = {}
 
         class RecordingRunner:
-            def __init__(self, profile="paper", seed=2024, **kwargs):
-                captured.update(profile=profile, seed=seed)
+            def __init__(self, profile="paper", seed=2024, jobs=1, **kwargs):
+                captured.update(profile=profile, seed=seed, jobs=jobs)
 
             def run(self, directions=None, **kwargs):
                 return []
 
-        monkeypatch.setattr(repro.cli, "ExperimentRunner", RecordingRunner)
-        assert main(["table", "6", "--profile", "stochastic", "--seed", "7"]) == 0
-        assert captured == {"profile": "stochastic", "seed": 7}
+        monkeypatch.setattr(
+            repro.cli, "ParallelExperimentRunner", RecordingRunner
+        )
+        assert main(["table", "6", "--profile", "stochastic", "--seed", "7",
+                     "--jobs", "3"]) == 0
+        assert captured == {"profile": "stochastic", "seed": 7, "jobs": 3}
 
     def test_table4_warns_that_flags_are_static(self, capsys):
         assert main(["table", "4", "--profile", "stochastic"]) == 0
@@ -107,12 +121,89 @@ class TestTableForwardsProfileAndSeed:
         captured = {}
 
         class RecordingRunner:
-            def __init__(self, profile="paper", seed=2024, **kwargs):
-                captured.update(profile=profile, seed=seed)
+            def __init__(self, profile="paper", seed=2024, jobs=1, **kwargs):
+                captured.update(profile=profile, seed=seed, jobs=jobs)
 
             def run(self, directions=None, **kwargs):
                 return []
 
-        monkeypatch.setattr(repro.cli, "ExperimentRunner", RecordingRunner)
+        monkeypatch.setattr(
+            repro.cli, "ParallelExperimentRunner", RecordingRunner
+        )
         assert main(["table", "7"]) == 0
-        assert captured == {"profile": "paper", "seed": 2024}
+        assert captured == {"profile": "paper", "seed": 2024, "jobs": 1}
+
+    def test_table7_jobs_matches_serial_output(self, capsys):
+        assert main(["table", "7"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table", "7", "--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestCampaignCli:
+    def _mini_spec_file(self, tmp_path):
+        spec = {
+            "name": "cli-mini",
+            "models": ["gpt4"],
+            "directions": ["omp2cuda"],
+            "apps": ["layout"],
+            "variants": [
+                {"name": "baseline"},
+                {"name": "no-knowledge",
+                 "overrides": {"include_knowledge": False}},
+            ],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_run_preset_and_report(self, capsys, tmp_path):
+        root = str(tmp_path / "campaigns")
+        rc = main(["campaign", "run", "max-corrections-sweep",
+                   "--dir", root, "--jobs", "2"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "cap-33" in captured.out and "cap-34" in captured.out
+        assert "(paper)" in captured.out
+
+        assert main(["campaign", "report", "max-corrections-sweep",
+                     "--dir", root]) == 0
+        assert "cap-34" in capsys.readouterr().out
+
+    def test_run_spec_file(self, capsys, tmp_path):
+        path = self._mini_spec_file(tmp_path)
+        rc = main(["campaign", "run", "--spec", str(path),
+                   "--dir", str(tmp_path / "campaigns")])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "cli-mini" in captured.out
+        assert "no-knowledge" in captured.out
+
+    def test_run_requires_exactly_one_source(self, capsys, tmp_path):
+        assert main(["campaign", "run"]) == 2
+        assert "preset name" in capsys.readouterr().err
+        path = self._mini_spec_file(tmp_path)
+        assert main(["campaign", "run", "knowledge-ablation",
+                     "--spec", str(path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_unknown_preset(self, capsys):
+        assert main(["campaign", "run", "frobnicate"]) == 2
+        assert "unknown campaign preset" in capsys.readouterr().err
+
+    def test_report_missing_campaign(self, capsys, tmp_path):
+        assert main(["campaign", "report", "nope",
+                     "--dir", str(tmp_path)]) == 2
+        assert "no campaign manifest" in capsys.readouterr().err
+
+    def test_list_shows_presets_and_directories(self, capsys, tmp_path):
+        path = self._mini_spec_file(tmp_path)
+        root = str(tmp_path / "campaigns")
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--dir", root]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "list", "--dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "knowledge-ablation" in out
+        assert "stochastic-replicates" in out
+        assert "cli-mini" in out and "2/2" in out
