@@ -35,5 +35,6 @@ __all__ = [
     "pipeline",
     "metrics",
     "experiments",
+    "synth",
     "cli",
 ]

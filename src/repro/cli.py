@@ -6,17 +6,24 @@ Commands mirror the deliverables:
 * ``evaluate``  — the §V experiment grid (optionally filtered);
 * ``table``     — print a paper table (4, 5, 6 or 7);
 * ``campaign``  — declarative ablation sweeps (run / report / list);
-* ``apps`` / ``models`` — list the suite and the registry.
+* ``synth``     — generate / list / self-check synthetic app suites;
+* ``apps`` / ``models`` — list a suite and the model registry.
+
+``translate``, ``evaluate`` and ``campaign run`` accept ``--suite`` —
+a registered suite name (``table4``), a generated one
+(``synth:stencil,reduction:seeds=3``) or a ``+``-merged view.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.errors import UnknownApplicationError, UnknownSuiteError
 from repro.experiments import (
     CampaignError,
     CampaignRunner,
@@ -36,17 +43,40 @@ from repro.experiments import (
 )
 from repro.experiments.campaign import MANIFEST_NAME, PRESETS
 from repro.experiments.runner import Scenario
-from repro.hecbench import all_apps, app_names
+from repro.hecbench import DEFAULT_SUITE, get_app, resolve_suite, suite_names
 from repro.llm.profiles import CUDA2OMP, OMP2CUDA
 from repro.llm.registry import all_models, model_keys
+from repro.synth import FAMILIES, check_apps, parse_suite_spec
 
 DEFAULT_PROFILE = "paper"
 DEFAULT_SEED = 2024
 
 
-def _cmd_apps(_args) -> int:
-    for app in all_apps():
-        print(f"{app.name:18s} {app.category:42s} args={app.paper_args}")
+def _resolve_suite_arg(spec: str):
+    """Resolve a ``--suite`` value, or print the error and return None."""
+    try:
+        return resolve_suite(spec)
+    except UnknownSuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _runtime(value: Optional[float]) -> str:
+    return f"{value:.4f}" if value is not None else "-"
+
+
+def _cmd_apps(args) -> int:
+    suite = _resolve_suite_arg(args.suite)
+    if suite is None:
+        return 2
+    print(f"suite {suite.name}: {len(suite)} application(s)")
+    for app in suite:
+        arg_text = ",".join(app.paper_args) if app.paper_args else "-"
+        print(
+            f"{app.name:26s} {app.category:44s} args={arg_text:14s} "
+            f"cuda={_runtime(app.paper_runtime_cuda):>8s}s "
+            f"omp={_runtime(app.paper_runtime_omp):>8s}s"
+        )
     return 0
 
 
@@ -57,11 +87,18 @@ def _cmd_models(_args) -> int:
 
 
 def _cmd_translate(args) -> int:
+    try:
+        app = get_app(args.app, suite=args.suite)
+    except (UnknownApplicationError, UnknownSuiteError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    # The resolved app is handed straight to run_scenario, so the runner
+    # never needs to resolve --suite a second time.
     runner = ExperimentRunner(profile=args.profile, seed=args.seed)
     scenario = Scenario(
-        model_key=args.model, direction=args.direction, app_name=args.app
+        model_key=args.model, direction=args.direction, app_name=app.name
     )
-    result = runner.run_scenario(scenario).result
+    result = runner.run_scenario(scenario, app=app).result
     print(f"status: {result.status}")
     print(f"self-corrections: {result.self_corrections}")
     if result.ok:
@@ -83,6 +120,18 @@ def _cmd_evaluate(args) -> int:
     if args.resume and not args.session:
         print("--resume requires --session PATH", file=sys.stderr)
         return 2
+    suite = _resolve_suite_arg(args.suite)
+    if suite is None:
+        return 2
+    apps: Optional[List[str]] = None
+    if args.apps:
+        # Validate against the suite up front (case-insensitively, with the
+        # registry's "did you mean" hints) and canonicalize the names.
+        try:
+            apps = [suite.get(name).name for name in args.apps]
+        except UnknownApplicationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     session = None
     if args.session:
         try:
@@ -96,6 +145,7 @@ def _cmd_evaluate(args) -> int:
                   file=sys.stderr)
     runner = ParallelExperimentRunner(
         profile=args.profile, seed=args.seed, jobs=args.jobs, session=session,
+        suite=suite,
     )
 
     def progress(sr):
@@ -106,7 +156,7 @@ def _cmd_evaluate(args) -> int:
     try:
         results = runner.run(
             models=args.models or None,
-            apps=args.apps or None,
+            apps=apps,
             directions=[args.direction] if args.direction else None,
             progress=progress if args.verbose else None,
         )
@@ -160,6 +210,8 @@ def _cmd_campaign_run(args) -> int:
         spec = _campaign_spec_from_args(args)
         if spec is None:
             return 2
+        if args.suite:
+            spec = dataclasses.replace(spec, suite=args.suite)
         runner = CampaignRunner(
             spec, root=args.dir, jobs=args.jobs,
             log=lambda msg: print(f"  {msg}", file=sys.stderr),
@@ -215,6 +267,77 @@ def _cmd_campaign_list(args) -> int:
     return 0
 
 
+def _synth_suite_from_args(args):
+    """Build a SynthSuiteSpec from --families/--seeds/--difficulty."""
+    try:
+        return parse_suite_spec(
+            f"synth:{args.families}:seeds={args.seeds}"
+            f":difficulty={args.difficulty}"
+        )
+    except UnknownSuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_synth_list(_args) -> int:
+    for fam in FAMILIES.values():
+        print(f"{fam.name:12s} {fam.category:32s} {fam.description}")
+    return 0
+
+
+def _cmd_synth_generate(args) -> int:
+    spec = _synth_suite_from_args(args)
+    if spec is None:
+        return 2
+    apps = spec.apps()
+    reports = check_apps(apps)
+    for app, report in zip(apps, reports):
+        status = "pass" if report.ok else f"FAIL[{report.stage}]"
+        print(f"{app.name:28s} {app.category:32s} {status:22s} {app.notes}")
+        if not report.ok and args.verbose:
+            print(report.detail, file=sys.stderr)
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for app in apps:
+            (out_dir / f"{app.name}.cu").write_text(
+                app.cuda_source, encoding="utf-8"
+            )
+            (out_dir / f"{app.name}.cpp").write_text(
+                app.omp_source, encoding="utf-8"
+            )
+        print(f"wrote {2 * len(apps)} source file(s) to {out_dir}",
+              file=sys.stderr)
+    passed = sum(1 for r in reports if r.ok)
+    print(f"\n{passed}/{len(reports)} generated pair(s) passed the "
+          f"differential self-check")
+    print(f"suite spec: {spec.spec_string}")
+    return 0 if passed == len(reports) else 1
+
+
+def _cmd_synth_check(args) -> int:
+    spec = _synth_suite_from_args(args)
+    if spec is None:
+        return 2
+    apps = spec.apps()
+    reports = {r.app_name: r for r in check_apps(apps)}
+    failures = 0
+    for family in spec.families:
+        family_apps = [a for a in apps if a.name.startswith(f"synth-{family}-")]
+        ok = sum(1 for a in family_apps if reports[a.name].ok)
+        failures += len(family_apps) - ok
+        print(f"{family:12s} {ok}/{len(family_apps)} pair(s) agree")
+        for app in family_apps:
+            report = reports[app.name]
+            if not report.ok:
+                print(f"  FAIL {app.name} [{report.stage}]", file=sys.stderr)
+                if args.verbose:
+                    print(report.detail, file=sys.stderr)
+    total = len(apps)
+    print(f"\ndifferential agreement: {total - failures}/{total}")
+    return 0 if failures == 0 else 1
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -229,27 +352,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("apps", help="list the Table IV applications").set_defaults(
-        func=_cmd_apps
+    suite_help = (
+        f"application suite: {', '.join(suite_names())}, "
+        f"synth:<families>[:seeds=N][:difficulty=D], or a '+'-merged view"
     )
+
+    ap = sub.add_parser("apps", help="list a suite's applications")
+    ap.add_argument("--suite", default=DEFAULT_SUITE, help=suite_help)
+    ap.set_defaults(func=_cmd_apps)
     sub.add_parser("models", help="list the Table V LLMs").set_defaults(
         func=_cmd_models
     )
 
     tr = sub.add_parser("translate", help="run the pipeline on one scenario")
-    tr.add_argument("app", choices=app_names())
+    tr.add_argument("app",
+                    help="application name (Table IV name or a synthetic "
+                         "name like synth-stencil-d1-s0)")
     tr.add_argument("--model", default="gpt4", choices=model_keys())
     tr.add_argument("--direction", default=OMP2CUDA,
                     choices=[OMP2CUDA, CUDA2OMP])
     tr.add_argument("--profile", default=DEFAULT_PROFILE,
                     choices=["paper", "stochastic"])
     tr.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    tr.add_argument("--suite", default=None, help=suite_help)
     tr.add_argument("--show-code", action="store_true")
     tr.set_defaults(func=_cmd_translate)
 
     ev = sub.add_parser("evaluate", help="run the evaluation grid")
     ev.add_argument("--models", nargs="*", choices=model_keys())
-    ev.add_argument("--apps", nargs="*", choices=app_names())
+    ev.add_argument("--apps", nargs="*",
+                    help="filter to these apps (must exist in --suite)")
+    ev.add_argument("--suite", default=DEFAULT_SUITE, help=suite_help)
     ev.add_argument("--direction", choices=[OMP2CUDA, CUDA2OMP])
     ev.add_argument("--profile", default=DEFAULT_PROFILE,
                     choices=["paper", "stochastic"])
@@ -288,6 +421,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: campaigns)")
     cr.add_argument("--jobs", "-j", type=_positive_int, default=1,
                     metavar="N", help="worker threads per variant grid")
+    cr.add_argument("--suite", default=None,
+                    help=f"override the spec's application suite "
+                         f"({suite_help})")
     cr.add_argument("--verbose", "-v", action="store_true")
     cr.set_defaults(func=_cmd_campaign_run)
 
@@ -303,6 +439,43 @@ def build_parser() -> argparse.ArgumentParser:
                                        "directories")
     cl.add_argument("--dir", default="campaigns", metavar="DIR")
     cl.set_defaults(func=_cmd_campaign_list)
+
+    sy = sub.add_parser(
+        "synth", help="generate / list / self-check synthetic app suites"
+    )
+    sysub = sy.add_subparsers(dest="synth_command", required=True)
+
+    def _synth_gen_args(p):
+        p.add_argument("--families", default="all", metavar="F1,F2",
+                       help="comma-separated kernel families, or 'all' "
+                            f"({', '.join(FAMILIES)})")
+        p.add_argument("--seeds", type=_positive_int, default=1, metavar="N",
+                       help="generation seeds 0..N-1 per family (default: 1)")
+        p.add_argument("--difficulty", type=_positive_int, default=1,
+                       metavar="D", help="template difficulty (default: 1)")
+        p.add_argument("--verbose", "-v", action="store_true",
+                       help="print failure details to stderr")
+
+    sg = sysub.add_parser(
+        "generate",
+        help="generate paired CUDA+OMP apps and run the differential "
+             "self-check",
+    )
+    _synth_gen_args(sg)
+    sg.add_argument("--out", metavar="DIR",
+                    help="also write the generated sources to DIR")
+    sg.set_defaults(func=_cmd_synth_generate)
+
+    sl = sysub.add_parser("list", help="list the kernel-family templates")
+    sl.set_defaults(func=_cmd_synth_list)
+
+    sc = sysub.add_parser(
+        "check",
+        help="differentially execute generated pairs and report "
+             "per-family agreement",
+    )
+    _synth_gen_args(sc)
+    sc.set_defaults(func=_cmd_synth_check)
     return parser
 
 

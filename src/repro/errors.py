@@ -93,5 +93,9 @@ class UnknownApplicationError(ReproError):
     """Requested HeCBench application is not registered."""
 
 
+class UnknownSuiteError(ReproError):
+    """Requested application suite is not registered or its spec is invalid."""
+
+
 class UnknownModelError(ReproError):
     """Requested LLM is not present in the registry."""

@@ -31,8 +31,12 @@ from typing import Any, Dict, Optional, Union
 
 from repro.experiments.runner import Scenario, ScenarioResult
 
-#: Bumped when the on-disk entry shape changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: Bumped when the on-disk entry shape changes incompatibly, or when the
+#: results an identical cell identity would produce change (version 2:
+#: unplanned scenarios salt the LLM seed per app, so stochastic-profile
+#: entries recorded under version 1 no longer match what a fresh run
+#: computes — replaying them would silently blend two behaviour models).
+CACHE_FORMAT_VERSION = 2
 
 
 def cache_key(

@@ -129,13 +129,20 @@ class Variant:
 
 @dataclass
 class CampaignSpec:
-    """A named sweep: grid subset + variants + the base configuration."""
+    """A named sweep: grid subset + variants + the base configuration.
+
+    ``suite`` names the application suite the grid enumerates — a
+    registered suite (``table4``), a dynamic one
+    (``synth:stencil,reduction:seeds=2``) or a merged view; ``apps``
+    still filters within it.
+    """
 
     name: str
     variants: List[Variant]
     models: Optional[List[str]] = None
     directions: Optional[List[str]] = None
     apps: Optional[List[str]] = None
+    suite: str = "table4"
     description: str = ""
     base_config: PipelineConfig = field(default_factory=PipelineConfig)
 
@@ -164,6 +171,7 @@ class CampaignSpec:
             "models": self.models,
             "directions": self.directions,
             "apps": self.apps,
+            "suite": self.suite,
             "base_config": asdict(self.base_config),
             "variants": [v.to_dict() for v in self.variants],
         }
@@ -183,6 +191,7 @@ class CampaignSpec:
             models=data.get("models"),
             directions=data.get("directions"),
             apps=data.get("apps"),
+            suite=data.get("suite", "table4"),
             base_config=PipelineConfig(**base),
             variants=[Variant.from_dict(v) for v in data.get("variants", [])],
         )
@@ -235,6 +244,40 @@ class CampaignResult:
         return sum(r.pipeline_runs for r in self.runs)
 
 
+def _grid_identity(suite, models, directions, apps):
+    """Canonical identity of one grid subset, for manifest comparison.
+
+    The suite spec string is resolved to its app-name list (two spellings
+    of one suite compare equal) and an explicit app filter is
+    canonicalized through the suite's case-insensitive lookup.  Anything
+    unresolvable falls back to its raw value — comparison still works, it
+    is just spelling-sensitive for that component.
+    """
+    from repro.hecbench import resolve_suite
+
+    try:
+        resolved = resolve_suite(suite)
+    except ReproError:
+        return {
+            "suite": suite, "models": models, "directions": directions,
+            "apps": apps,
+        }
+    canon_apps = None
+    if apps is not None:
+        canon_apps = []
+        for name in apps:
+            try:
+                canon_apps.append(resolved.get(name).name)
+            except ReproError:
+                canon_apps.append(name)
+    return {
+        "suite": resolved.app_names(),
+        "models": models,
+        "directions": directions,
+        "apps": canon_apps,
+    }
+
+
 # ----------------------------------------------------------------------
 class CampaignRunner:
     """Executes a :class:`CampaignSpec` into a campaign directory."""
@@ -256,13 +299,97 @@ class CampaignRunner:
         self.sessions_dir = self.directory / "sessions"
         self.sessions_dir.mkdir(parents=True, exist_ok=True)
         self._log = log or (lambda _msg: None)
+        # Resolved once so dynamic suites (synth:...) generate one app set
+        # shared by every cell.
+        from repro.hecbench import resolve_suite
+
+        try:
+            self.suite = resolve_suite(spec.suite)
+        except ReproError as exc:
+            raise CampaignError(
+                f"campaign {spec.name!r} has an unusable suite "
+                f"{spec.suite!r}: {exc}"
+            ) from exc
+        self._check_existing_manifest()
         #: Scenarios per cell, known before any cell runs — the manifest
-        #: records it so loaders can tell truncated cells from finished ones.
-        self._grid_size = len(
-            ExperimentRunner(
-                executor=self.executor, baselines=self.baselines
-            ).scenarios(spec.models, spec.directions, spec.apps)
+        #: records it so loaders can tell truncated cells from finished
+        #: ones.  Enumerating also validates spec.apps against the suite,
+        #: so an out-of-suite filter fails here, not mid-run.
+        try:
+            self._grid_size = len(
+                ExperimentRunner(
+                    executor=self.executor, baselines=self.baselines,
+                    suite=self.suite,
+                ).scenarios(spec.models, spec.directions, spec.apps)
+            )
+        except ReproError as exc:
+            raise CampaignError(
+                f"campaign {spec.name!r} has an unusable app filter: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def _check_existing_manifest(self) -> None:
+        """Refuse to resume a directory recorded under a different grid.
+
+        The directory is keyed by campaign name and its per-cell sessions
+        validate profile/seed/config — but not the grid subset.  Re-running
+        the same name with a different suite/models/directions/apps (e.g.
+        ``campaign run <name> --suite ...``) would append a second
+        experiment's scenarios to the same session files and silently blend
+        both into one report.  A missing or unreadable manifest is only
+        ignored when no session files exist either (a truly fresh
+        directory); sessions without a readable manifest cannot be tied to
+        any grid, so resuming over them is refused too.
+        """
+        path = self.directory / MANIFEST_NAME
+        manifest = None
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            manifest = None
+        recorded_spec = (
+            manifest.get("spec") if isinstance(manifest, dict) else None
         )
+        if not isinstance(recorded_spec, dict):
+            leftovers = sorted(self.sessions_dir.glob("*.jsonl"))
+            if leftovers:
+                raise CampaignError(
+                    f"campaign directory {self.directory} has "
+                    f"{len(leftovers)} session file(s) but no readable "
+                    f"manifest; cannot verify they belong to this grid — "
+                    f"delete the directory (or its sessions/) to start over"
+                )
+            return
+        recorded_raw = {
+            "suite": recorded_spec.get("suite", "table4"),
+            "models": recorded_spec.get("models"),
+            "directions": recorded_spec.get("directions"),
+            "apps": recorded_spec.get("apps"),
+        }
+        current_raw = {
+            "suite": self.spec.suite,
+            "models": self.spec.models,
+            "directions": self.spec.directions,
+            "apps": self.spec.apps,
+        }
+        # Compare canonical identities, not raw strings: two spellings of
+        # the same suite (e.g. 'synth:scan:seeds=1' and its canonical
+        # 'synth:scan:seeds=1:difficulty=1') or a case-variant app filter
+        # enumerate the identical grid and must resume, not refuse.
+        recorded = _grid_identity(**recorded_raw)
+        current = _grid_identity(**current_raw)
+        if recorded != current:
+            diffs = ", ".join(
+                f"{key}: {recorded_raw[key]!r} -> {current_raw[key]!r}"
+                for key in current
+                if recorded[key] != current[key]
+            )
+            raise CampaignError(
+                f"campaign directory {self.directory} was recorded under a "
+                f"different grid ({diffs}); resuming would blend two "
+                f"experiments — use a new campaign name or --dir, or delete "
+                f"the directory to start over"
+            )
 
     # ------------------------------------------------------------------
     def run(self, progress: Optional[Callable] = None) -> CampaignResult:
@@ -285,6 +412,7 @@ class CampaignRunner:
                 session=session,
                 cache=self.cache,
                 baselines=self.baselines,
+                suite=self.suite,
             )
             results = runner.run(
                 models=self.spec.models,
@@ -516,11 +644,34 @@ def _stochastic_replicates() -> CampaignSpec:
     )
 
 
+def _synth_sweep() -> CampaignSpec:
+    """LASSI over a generated synthetic suite (beyond the Table IV grid)."""
+    return CampaignSpec(
+        name="synth-sweep",
+        description=(
+            "LASSI over a generated synthetic suite (2 families x 2 seeds) "
+            "with and without the SIII-B knowledge document"
+        ),
+        suite="synth:stencil,reduction:seeds=2",
+        models=["gpt4", "codestral"],
+        directions=["omp2cuda"],
+        variants=[
+            Variant(name="baseline", description="full LASSI pipeline"),
+            Variant(
+                name="no-knowledge",
+                overrides={"include_knowledge": False},
+                description="SIII-B knowledge document dropped",
+            ),
+        ],
+    )
+
+
 PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
     "knowledge-ablation": _knowledge_ablation,
     "self-correction-ablation": _self_correction_ablation,
     "max-corrections-sweep": _max_corrections_sweep,
     "stochastic-replicates": _stochastic_replicates,
+    "synth-sweep": _synth_sweep,
 }
 
 

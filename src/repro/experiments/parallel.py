@@ -23,11 +23,12 @@ every result as it completes and to resume an interrupted grid.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor, as_completed
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Union
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import ExperimentRunner, ScenarioResult
 from repro.experiments.session import RunSession
+from repro.hecbench import Suite
 from repro.pipeline import BaselinePreparer, PipelineConfig
 from repro.toolchain import Executor
 
@@ -55,10 +56,11 @@ class ParallelExperimentRunner(ExperimentRunner):
         session: Optional[RunSession] = None,
         cache: Optional[ResultCache] = None,
         baselines: Optional[BaselinePreparer] = None,
+        suite: Union[str, Suite, None] = None,
     ) -> None:
         super().__init__(
             config=config, profile=profile, seed=seed, executor=executor,
-            baselines=baselines,
+            baselines=baselines, suite=suite,
         )
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")

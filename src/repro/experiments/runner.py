@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.hecbench import AppSpec, all_apps
+from repro.hecbench import AppSpec, Suite, resolve_suite
 from repro.llm.profiles import CUDA2OMP, OMP2CUDA, CellPlan, paper_plan
 from repro.llm.registry import all_models
 from repro.llm.simulated import SimulatedLLM
@@ -23,6 +23,7 @@ from repro.minilang.source import Dialect
 from repro.pipeline import BaselinePreparer, LassiPipeline, PipelineConfig
 from repro.pipeline.results import LassiResult
 from repro.toolchain import Executor
+from repro.utils.rng import derive_seed
 
 DIRECTIONS: Dict[str, Tuple[Dialect, Dialect]] = {
     OMP2CUDA: (Dialect.OMP, Dialect.CUDA),
@@ -90,12 +91,15 @@ class ExperimentRunner:
         seed: int = 2024,
         executor: Optional[Executor] = None,
         baselines: Optional[BaselinePreparer] = None,
+        suite: Union[str, Suite, None] = None,
     ) -> None:
         if profile not in ("paper", "stochastic"):
             raise ValueError(f"unknown profile {profile!r}")
         self.config = config or PipelineConfig()
         self.profile = profile
         self.seed = seed
+        #: The application suite the grid enumerates (default: Table IV).
+        self.suite = resolve_suite(suite)
         self.executor = executor or Executor()
         # A campaign shares one preparer across every variant runner so each
         # (app, dialect) baseline is still built exactly once campaign-wide.
@@ -119,7 +123,13 @@ class ExperimentRunner:
     ) -> List[Scenario]:
         model_keys = list(models) if models else [m.key for m in all_models()]
         dir_keys = list(directions) if directions else [OMP2CUDA, CUDA2OMP]
-        app_names = list(apps) if apps else [a.name for a in all_apps()]
+        # An explicit app filter is validated against (and canonicalized
+        # by) the suite, so a name outside the configured suite fails here
+        # instead of silently executing via a wider lookup.
+        app_names = (
+            [self.suite.get(a).name for a in apps]
+            if apps else self.suite.app_names()
+        )
         return [
             Scenario(model_key=m, direction=d, app_name=a)
             for d in dir_keys
@@ -129,9 +139,11 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     def run_scenario(self, scenario: Scenario, app: Optional[AppSpec] = None) -> ScenarioResult:
-        from repro.hecbench import get_app
-
-        app = app or get_app(scenario.app_name)
+        if app is None:
+            # Strictly suite-scoped: a scenario naming an app outside the
+            # configured suite is an error, not a silent widening.  Callers
+            # with an out-of-suite app in hand pass it explicitly.
+            app = self.suite.get(scenario.app_name)
         source_dialect, target_dialect = DIRECTIONS[scenario.direction]
         with self._counter_lock:
             self.pipeline_runs += 1
@@ -139,12 +151,19 @@ class ExperimentRunner:
         plan: Optional[CellPlan] = None
         if self.profile == "paper":
             plan = paper_plan(scenario.model_key, scenario.direction, app.name)
+        llm_seed = self.seed
+        if plan is None:
+            # Unplanned scenario (stochastic profile, or an app beyond the
+            # 80 paper cells — e.g. a generated one): salt the stream with
+            # the app name so each app draws its own behaviour instead of
+            # every app in the grid sharing one (model, direction) plan.
+            llm_seed = derive_seed(self.seed, "scenario", app.name)
         llm = SimulatedLLM(
             scenario.model_key,
             source_dialect,
             target_dialect,
             plan=plan,
-            seed=self.seed,
+            seed=llm_seed,
         )
         pipeline = LassiPipeline(
             llm,

@@ -24,8 +24,12 @@ from repro.experiments.runner import Scenario, ScenarioResult
 
 ScenarioKey = Tuple[str, str, str]
 
-#: Bumped when the on-disk record shape changes incompatibly.
-SESSION_FORMAT_VERSION = 1
+#: Bumped when the on-disk record shape changes incompatibly, or when the
+#: results a recorded grid identity would produce change (version 2:
+#: unplanned scenarios salt the LLM seed per app, so resuming a
+#: version-1 stochastic session would silently blend old and new
+#: behaviour draws in one grid).
+SESSION_FORMAT_VERSION = 2
 
 
 class SessionError(ReproError):

@@ -67,11 +67,21 @@ def render_translation_tables(results: Iterable) -> Dict[str, str]:
     Returns {"omp2cuda": text, "cuda2omp": text} with one panel pair per
     direction, matching the paper's layout: rows = apps, one five-column
     group (Runtime, Ratio, Sim-T, Sim-L, Self-corr) per LLM.
+
+    Rows are the apps that actually appear in ``results`` (first-seen
+    order — scenario-enumeration order, i.e. suite order), falling back to
+    the Table IV rows for empty result sets so the paper layout renders
+    even before any run.
     """
     indexed: Dict[Tuple[str, str, str], object] = {}
+    app_rows: List[str] = []
     for sr in results:
         key = (sr.scenario.direction, sr.scenario.model_key, sr.scenario.app_name)
         indexed[key] = sr.result
+        if sr.scenario.app_name not in app_rows:
+            app_rows.append(sr.scenario.app_name)
+    if not app_rows:
+        app_rows = [a.name for a in all_apps()]
 
     out: Dict[str, str] = {}
     titles = {
@@ -93,10 +103,10 @@ def render_translation_tables(results: Iterable) -> Dict[str, str]:
                     "Self-corr",
                 ]
             rows: List[List[object]] = []
-            for app in all_apps():
-                row: List[object] = [app.name]
+            for app_name in app_rows:
+                row: List[object] = [app_name]
                 for key in (left, right):
-                    result = indexed.get((direction, key, app.name))
+                    result = indexed.get((direction, key, app_name))
                     if result is None or not result.ok:
                         row += [None, None, None, None, None]
                     else:

@@ -19,6 +19,27 @@ authored from scratch in the MiniCUDA / MiniOMP dialects:
 """
 
 from repro.hecbench.spec import AppSpec
-from repro.hecbench.suite import all_apps, app_names, get_app
+from repro.hecbench.suite import (
+    DEFAULT_SUITE,
+    REGISTRY,
+    Suite,
+    SuiteRegistry,
+    all_apps,
+    app_names,
+    get_app,
+    resolve_suite,
+    suite_names,
+)
 
-__all__ = ["AppSpec", "all_apps", "app_names", "get_app"]
+__all__ = [
+    "AppSpec",
+    "DEFAULT_SUITE",
+    "REGISTRY",
+    "Suite",
+    "SuiteRegistry",
+    "all_apps",
+    "app_names",
+    "get_app",
+    "resolve_suite",
+    "suite_names",
+]

@@ -1,10 +1,29 @@
-"""Suite registry: the ten Table IV applications in paper order."""
+"""Suite registry: named application suites over :class:`AppSpec` sets.
+
+Historically this module *was* the suite — a hard-coded list of the ten
+Table IV applications.  It is now a registry of named suites:
+
+* ``table4`` — the ten paper applications, in Table IV row order (still
+  the default everywhere, so existing behaviour is unchanged);
+* ``synth:<spec>`` — dynamically resolved generated suites (see
+  :mod:`repro.synth`), e.g. ``synth:stencil,reduction:seeds=3``;
+* merged views — ``table4+synth:stencil:seeds=2`` concatenates suites
+  with ``+`` (duplicate app names are rejected).
+
+App lookup is suite-aware and forgiving: :func:`get_app` matches
+case-insensitively, regenerates synthetic apps from their names alone
+(names encode the full generation tuple), and raises
+:class:`~repro.errors.UnknownApplicationError` with a closest-name
+"did you mean" hint on typos.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List
+import difflib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Union
 
-from repro.errors import UnknownApplicationError
+from repro.errors import UnknownApplicationError, UnknownSuiteError
 from repro.hecbench.spec import AppSpec
 from repro.hecbench.apps import (
     atomic_cost,
@@ -20,7 +39,7 @@ from repro.hecbench.apps import (
 )
 
 #: Paper order (Table IV rows).
-_APPS: List[AppSpec] = [
+_TABLE4_APPS: List[AppSpec] = [
     matrix_rotate.SPEC,
     jacobi.SPEC,
     layout.SPEC,
@@ -33,23 +52,191 @@ _APPS: List[AppSpec] = [
     random_access.SPEC,
 ]
 
-_BY_NAME: Dict[str, AppSpec] = {app.name: app for app in _APPS}
+DEFAULT_SUITE = "table4"
 
 
-def all_apps() -> List[AppSpec]:
-    """All ten applications in Table IV order."""
-    return list(_APPS)
+def _unknown_app(name: str, known: List[str]) -> UnknownApplicationError:
+    message = f"unknown application {name!r}; known apps: {', '.join(known)}"
+    close = difflib.get_close_matches(name.lower(),
+                                      [k.lower() for k in known], n=1)
+    if close:
+        original = next(k for k in known if k.lower() == close[0])
+        message += f" (did you mean {original!r}?)"
+    return UnknownApplicationError(message)
 
 
-def app_names() -> List[str]:
-    return [app.name for app in _APPS]
+@dataclass(frozen=True)
+class Suite:
+    """A named, ordered set of applications."""
+
+    name: str
+    apps: Tuple[AppSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.apps]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise UnknownSuiteError(
+                f"suite {self.name!r} repeats app name(s): {', '.join(dupes)}"
+            )
+        # Lookup maps built once: Suite.get sits on the per-scenario hot
+        # path (frozen dataclass, hence object.__setattr__).
+        object.__setattr__(self, "_by_name", {a.name: a for a in self.apps})
+        object.__setattr__(
+            self, "_by_lower", {a.name.lower(): a for a in self.apps}
+        )
+
+    def app_names(self) -> List[str]:
+        return [a.name for a in self.apps]
+
+    def get(self, name: str) -> AppSpec:
+        """Case-insensitive lookup within this suite, with typo hints."""
+        spec = self._by_name.get(name) or self._by_lower.get(name.lower())
+        if spec is not None:
+            return spec
+        raise _unknown_app(name, sorted(self._by_name))
+
+    def __len__(self) -> int:
+        return len(self.apps)
+
+    def __iter__(self):
+        return iter(self.apps)
 
 
-def get_app(name: str) -> AppSpec:
+class SuiteRegistry:
+    """Named suite factories plus prefix resolvers for dynamic suites.
+
+    ``resolve`` accepts a registered name (``table4``), a dynamic spec
+    handled by a prefix resolver (``synth:...``), a ``+``-separated merge
+    of any of those, or an already-built :class:`Suite` (passed through).
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Tuple[Callable[[], Suite], str]] = {}
+        self._resolvers: Dict[str, Callable[[str], Suite]] = {}
+
+    def register(
+        self, name: str, factory: Callable[[], Suite], description: str = ""
+    ) -> None:
+        self._factories[name] = (factory, description)
+
+    def register_resolver(
+        self, prefix: str, resolver: Callable[[str], Suite]
+    ) -> None:
+        """Handle every spec starting with ``<prefix>:`` dynamically."""
+        self._resolvers[prefix] = resolver
+
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+    def describe(self, name: str) -> str:
+        return self._factories[name][1]
+
+    def resolve(self, spec: Union[str, Suite]) -> Suite:
+        if isinstance(spec, Suite):
+            return spec
+        if "+" in spec:
+            return self._merge(spec)
+        return self._resolve_single(spec)
+
+    # ------------------------------------------------------------------
+    def _resolve_single(self, spec: str) -> Suite:
+        entry = self._factories.get(spec)
+        if entry is not None:
+            return entry[0]()
+        prefix = spec.split(":", 1)[0]
+        resolver = self._resolvers.get(prefix)
+        if resolver is not None and ":" in spec:
+            return resolver(spec)
+        known = ", ".join(self.names())
+        dynamic = ", ".join(f"{p}:<spec>" for p in sorted(self._resolvers))
+        raise UnknownSuiteError(
+            f"unknown suite {spec!r}; registered suites: {known}; "
+            f"dynamic suites: {dynamic}; merge suites with '+'"
+        )
+
+    def _merge(self, spec: str) -> Suite:
+        parts = [p for p in (s.strip() for s in spec.split("+")) if p]
+        if not parts:
+            raise UnknownSuiteError(f"empty merged suite spec {spec!r}")
+        apps: List[AppSpec] = []
+        for part in parts:
+            apps.extend(self._resolve_single(part).apps)
+        return Suite(
+            name=spec,
+            apps=tuple(apps),
+            description=f"merged view of {len(parts)} suite(s)",
+        )
+
+
+REGISTRY = SuiteRegistry()
+
+#: The default suite, built once (it is immutable and hot).
+_TABLE4_SUITE = Suite(
+    name="table4",
+    apps=tuple(_TABLE4_APPS),
+    description="the ten Table IV applications, in paper order",
+)
+
+REGISTRY.register(
+    "table4",
+    lambda: _TABLE4_SUITE,
+    "the ten Table IV applications, in paper order",
+)
+
+
+def _resolve_synth(spec: str) -> Suite:
+    # Imported lazily: repro.synth depends on this module's Suite class.
+    from repro.synth import suite_from_spec
+
+    return suite_from_spec(spec)
+
+
+REGISTRY.register_resolver("synth", _resolve_synth)
+
+
+def resolve_suite(spec: Union[str, Suite, None]) -> Suite:
+    """Resolve a suite spec string (or pass a built Suite through)."""
+    return REGISTRY.resolve(DEFAULT_SUITE if spec is None else spec)
+
+
+def suite_names() -> List[str]:
+    """Registered (static) suite names."""
+    return REGISTRY.names()
+
+
+# ----------------------------------------------------------------------
+# Module-level convenience API (defaults preserve the historical
+# ten-app behaviour).
+
+
+def all_apps(suite: Union[str, Suite, None] = None) -> List[AppSpec]:
+    """All applications of ``suite`` (default: Table IV, paper order)."""
+    return list(resolve_suite(suite).apps)
+
+
+def app_names(suite: Union[str, Suite, None] = None) -> List[str]:
+    return resolve_suite(suite).app_names()
+
+
+def get_app(name: str, suite: Union[str, Suite, None] = None) -> AppSpec:
+    """Look up one application by name.
+
+    Resolution order: the given suite (or Table IV), case-insensitively;
+    then on-demand regeneration for synthetic names (``synth-*`` encodes
+    its full generation tuple, so cache/session replays and campaign
+    manifests can rebuild apps from names alone).  Unknown names raise
+    :class:`UnknownApplicationError` with a "did you mean" hint.
+    """
     try:
-        return _BY_NAME[name]
-    except KeyError:
-        known = ", ".join(sorted(_BY_NAME))
-        raise UnknownApplicationError(
-            f"unknown application {name!r}; known apps: {known}"
-        ) from None
+        return resolve_suite(suite).get(name)
+    except UnknownApplicationError:
+        from repro.synth import app_from_name, is_synth_name
+
+        # Synth names are canonically lowercase; keep the lookup as
+        # case-forgiving as the suite path above.
+        lowered = name.lower()
+        if is_synth_name(lowered):
+            return app_from_name(lowered)
+        raise

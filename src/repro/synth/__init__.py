@@ -1,0 +1,61 @@
+"""Seeded synthetic kernel generator (the ``repro.synth`` subsystem).
+
+The paper evaluates LASSI on the ten fixed Table IV applications; this
+package removes that ceiling.  A :class:`SynthSpec` — a ``(family,
+difficulty, seed)`` tuple — deterministically expands into a *paired*
+MiniCUDA + MiniOMP program drawn from one of seven kernel-family templates
+(stencil, reduction, scan, histogram, matmul, gather, fusion).  Generated
+pairs follow the same authoring contract as the hand-written Table IV
+suite:
+
+* byte-identical stdout across dialects (differentially verifiable);
+* idiomatic staging (``cudaMalloc``/``cudaMemcpy`` vs ``target data`` /
+  map clauses) inside the simulated transpiler's competence envelope;
+* synthesized ``work_scale``/``launch_scale`` so the GPU performance
+  model prices them like real workloads.
+
+:func:`differential_check` replays each pair through the existing
+compiler + interpreter executors and compares stdout — the programmatic
+correctness oracle (KernelBench-style) a generated pair must pass before
+it is trusted as a benchmark.  ``repro synth generate|check`` exit
+non-zero on any disagreement, and CI plus the generator tests gate the
+full family catalogue at a 100% pass rate; suite resolution itself stays
+cheap and does not re-run the oracle.  App names (``synth-<family>-d<difficulty>-s<seed>``) encode
+their full generation tuple, so :func:`app_from_name` can rebuild any app
+from its name alone — which is what lets sessions, caches and campaign
+replays treat synthetic scenarios exactly like Table IV ones.
+"""
+
+from repro.synth.families import FAMILIES, family_names, get_family
+from repro.synth.generator import (
+    SYNTH_NAME_RE,
+    CheckReport,
+    SynthSpec,
+    SynthSuiteSpec,
+    app_from_name,
+    check_apps,
+    differential_check,
+    generate_app,
+    generate_suite_apps,
+    is_synth_name,
+    parse_suite_spec,
+    suite_from_spec,
+)
+
+__all__ = [
+    "FAMILIES",
+    "CheckReport",
+    "SYNTH_NAME_RE",
+    "SynthSpec",
+    "SynthSuiteSpec",
+    "app_from_name",
+    "check_apps",
+    "differential_check",
+    "family_names",
+    "generate_app",
+    "generate_suite_apps",
+    "get_family",
+    "is_synth_name",
+    "parse_suite_spec",
+    "suite_from_spec",
+]

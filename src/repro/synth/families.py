@@ -1,0 +1,926 @@
+"""Parameterized kernel-family templates for the synthetic suite.
+
+Each :class:`Family` deterministically renders a paired MiniCUDA + MiniOMP
+program from a ``(difficulty, seed)`` draw.  Templates are authored in the
+same idiom as the hand-written Table IV apps — canonical flat-index kernels
+with guards, ``cudaMalloc``/``cudaMemcpy`` staging on the CUDA side,
+``target data`` regions / map clauses on the OpenMP side, deterministic
+``srand``/``rand`` data, and checksum-style stdout — so generated pairs are
+differentially verifiable *and* sit inside the simulated transpiler's
+competence envelope (the LASSI pipeline can actually translate them).
+
+``difficulty`` widens the problem (sizes, stencil radius, extra passes);
+``seed`` varies every free constant through a :class:`~repro.utils.rng.
+RngStream`, so two apps of the same family and difficulty still differ.
+All sizes are deliberately small: programs run on the pure-Python
+interpreter, and the synthesized ``work_scale`` (drawn in the generator)
+is what relates them to nominal workloads for the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from string import Template
+from typing import Callable, Dict, List
+
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class GeneratedPair:
+    """One rendered program pair plus its drawn parameters."""
+
+    cuda_source: str
+    omp_source: str
+    notes: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Family:
+    """A kernel-family template: name, category, and a seeded renderer."""
+
+    name: str
+    category: str
+    description: str
+    render: Callable[[RngStream, int], GeneratedPair]
+
+    def generate(self, difficulty: int, seed: int) -> GeneratedPair:
+        if difficulty < 1:
+            raise ValueError(f"difficulty must be >= 1, got {difficulty}")
+        rng = RngStream(seed, "synth", self.name, f"d{difficulty}")
+        return self.render(rng, difficulty)
+
+
+def _t(template: str, **subs: object) -> str:
+    """Render a ``$name`` template (C braces stay literal)."""
+    return Template(template).substitute({k: str(v) for k, v in subs.items()})
+
+
+# =====================================================================
+# stencil — R-point 1D stencil sweep, separate in/out arrays.
+# =====================================================================
+
+_STENCIL_CUDA = """
+// synth stencil: $points-point 1D stencil sweep over n cells.
+__global__ void stencil_step(float* in, float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    if (i >= $radius && i < n - $radius) {
+      out[i] = $body;
+    } else {
+      out[i] = in[i];
+    }
+  }
+}
+
+int main(int argc, char** argv) {
+  int n = $n;
+  int iters = $iters;
+  float* h_in = (float*)malloc(n * sizeof(float));
+  float* h_out = (float*)malloc(n * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    h_in[i] = (rand() % 1000) * 0.001f;
+  }
+  float* d_in;
+  float* d_out;
+  cudaMalloc(&d_in, n * sizeof(float));
+  cudaMalloc(&d_out, n * sizeof(float));
+  cudaMemcpy(d_in, h_in, n * sizeof(float), cudaMemcpyHostToDevice);
+  int threads = $threads;
+  int blocks = (n + threads - 1) / threads;
+  for (int it = 0; it < iters; it++) {
+    stencil_step<<<blocks, threads>>>(d_in, d_out, n);
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_out, d_out, n * sizeof(float), cudaMemcpyDeviceToHost);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) {
+    checksum += h_out[i];
+  }
+  printf("n %d\\n", n);
+  printf("checksum %.4f\\n", checksum);
+  cudaFree(d_in);
+  cudaFree(d_out);
+  free(h_in);
+  free(h_out);
+  return 0;
+}
+"""
+
+_STENCIL_OMP = """
+// synth stencil: $points-point 1D stencil sweep over n cells.
+int main(int argc, char** argv) {
+  int n = $n;
+  int iters = $iters;
+  float* in = (float*)malloc(n * sizeof(float));
+  float* out = (float*)malloc(n * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    in[i] = (rand() % 1000) * 0.001f;
+  }
+  #pragma omp target data map(to: in[0:n]) map(from: out[0:n])
+  {
+    for (int it = 0; it < iters; it++) {
+      #pragma omp target teams distribute parallel for
+      for (int i = 0; i < n; i++) {
+        if (i >= $radius && i < n - $radius) {
+          out[i] = $body;
+        } else {
+          out[i] = in[i];
+        }
+      }
+    }
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) {
+    checksum += out[i];
+  }
+  printf("n %d\\n", n);
+  printf("checksum %.4f\\n", checksum);
+  free(in);
+  free(out);
+  return 0;
+}
+"""
+
+
+def _render_stencil(rng: RngStream, difficulty: int) -> GeneratedPair:
+    n = rng.randint(64, 96) + 32 * (difficulty - 1)
+    iters = rng.randint(2, 2 + difficulty)
+    radius = 1 if difficulty < 2 else 2
+    w0 = 0.40 + 0.05 * rng.randint(0, 4)
+    w1 = round((1.0 - w0) / (2 * radius), 3)
+    terms = [f"{w0:.3f}f * in[i]"]
+    for r in range(1, radius + 1):
+        terms.append(f"{w1:.3f}f * (in[i - {r}] + in[i + {r}])")
+    body = " + ".join(terms)
+    params = dict(
+        n=n, iters=iters, radius=radius, points=2 * radius + 1,
+        dataseed=rng.randint(1000, 9999), threads=rng.choice([64, 128]),
+        body=body,
+    )
+    return GeneratedPair(
+        cuda_source=_t(_STENCIL_CUDA, **params),
+        omp_source=_t(_STENCIL_OMP, **params),
+        notes=f"{params['points']}-point stencil, {iters} idempotent sweeps",
+        params=params,
+    )
+
+
+# =====================================================================
+# reduction — global sum of a per-element term (atomic vs reduction(+)).
+# =====================================================================
+
+_REDUCTION_CUDA = """
+// synth reduction: global sum of a per-element term.
+__global__ void reduce_sum(double* data, double* total, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    double v = data[i];
+    atomicAdd(&total[0], $term);
+  }
+}
+
+int main(int argc, char** argv) {
+  int n = $n;
+  double* h_data = (double*)malloc(n * sizeof(double));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    h_data[i] = (rand() % 2000) * 0.001 - 1.0;
+  }
+  double* d_data;
+  double* d_total;
+  cudaMalloc(&d_data, n * sizeof(double));
+  cudaMalloc(&d_total, sizeof(double));
+  cudaMemcpy(d_data, h_data, n * sizeof(double), cudaMemcpyHostToDevice);
+  cudaMemset(d_total, 0, sizeof(double));
+  int threads = $threads;
+  int blocks = (n + threads - 1) / threads;
+  reduce_sum<<<blocks, threads>>>(d_data, d_total, n);
+  cudaDeviceSynchronize();
+  double* h_total = (double*)malloc(sizeof(double));
+  cudaMemcpy(h_total, d_total, sizeof(double), cudaMemcpyDeviceToHost);
+  printf("n %d\\n", n);
+  printf("sum %.6f\\n", h_total[0]);
+  cudaFree(d_data);
+  cudaFree(d_total);
+  free(h_data);
+  free(h_total);
+  return 0;
+}
+"""
+
+_REDUCTION_OMP = """
+// synth reduction: global sum of a per-element term (target offload).
+int main(int argc, char** argv) {
+  int n = $n;
+  double* data = (double*)malloc(n * sizeof(double));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    data[i] = (rand() % 2000) * 0.001 - 1.0;
+  }
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for map(to: data[0:n]) reduction(+: sum)
+  for (int i = 0; i < n; i++) {
+    double v = data[i];
+    sum += $term;
+  }
+  printf("n %d\\n", n);
+  printf("sum %.6f\\n", sum);
+  free(data);
+  return 0;
+}
+"""
+
+_REDUCTION_TERMS = [
+    "v * v",
+    "fabs(v - 0.5)",
+    "v * 0.625 + 0.25",
+    "fabs(v) * 0.75",
+]
+
+
+def _render_reduction(rng: RngStream, difficulty: int) -> GeneratedPair:
+    n = rng.randint(128, 192) + 64 * (difficulty - 1)
+    term = rng.choice(_REDUCTION_TERMS)
+    params = dict(
+        n=n, term=term, dataseed=rng.randint(1000, 9999),
+        threads=rng.choice([64, 128, 256]),
+    )
+    return GeneratedPair(
+        cuda_source=_t(_REDUCTION_CUDA, **params),
+        omp_source=_t(_REDUCTION_OMP, **params),
+        notes=f"sum of {term} over {n} elements",
+        params=params,
+    )
+
+
+# =====================================================================
+# scan — segmented inclusive prefix sums, one segment per thread.
+# =====================================================================
+
+_SCAN_CUDA = """
+// synth scan: inclusive prefix sum inside each of nseg segments.
+__global__ void segment_scan(float* data, float* out, int nseg, int seglen) {
+  int s = blockIdx.x * blockDim.x + threadIdx.x;
+  if (s < nseg) {
+    float run = 0.0f;
+    for (int k = 0; k < seglen; k++) {
+      run = run + data[s * seglen + k];
+      out[s * seglen + k] = run;
+    }
+  }
+}
+
+int main(int argc, char** argv) {
+  int nseg = $nseg;
+  int seglen = $seglen;
+  int total = nseg * seglen;
+  float* h_data = (float*)malloc(total * sizeof(float));
+  float* h_out = (float*)malloc(total * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < total; i++) {
+    h_data[i] = (rand() % 100) * 0.01f;
+  }
+  float* d_data;
+  float* d_out;
+  cudaMalloc(&d_data, total * sizeof(float));
+  cudaMalloc(&d_out, total * sizeof(float));
+  cudaMemcpy(d_data, h_data, total * sizeof(float), cudaMemcpyHostToDevice);
+  int threads = $threads;
+  int blocks = (nseg + threads - 1) / threads;
+  segment_scan<<<blocks, threads>>>(d_data, d_out, nseg, seglen);
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_out, d_out, total * sizeof(float), cudaMemcpyDeviceToHost);
+  double checksum = 0.0;
+  for (int i = 0; i < total; i++) {
+    checksum += h_out[i];
+  }
+  printf("segments %d\\n", nseg);
+  printf("checksum %.4f\\n", checksum);
+  cudaFree(d_data);
+  cudaFree(d_out);
+  free(h_data);
+  free(h_out);
+  return 0;
+}
+"""
+
+_SCAN_OMP = """
+// synth scan: inclusive prefix sum inside each of nseg segments.
+int main(int argc, char** argv) {
+  int nseg = $nseg;
+  int seglen = $seglen;
+  int total = nseg * seglen;
+  float* data = (float*)malloc(total * sizeof(float));
+  float* out = (float*)malloc(total * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < total; i++) {
+    data[i] = (rand() % 100) * 0.01f;
+  }
+  #pragma omp target teams distribute parallel for map(to: data[0:total]) map(from: out[0:total])
+  for (int s = 0; s < nseg; s++) {
+    float run = 0.0f;
+    for (int k = 0; k < seglen; k++) {
+      run = run + data[s * seglen + k];
+      out[s * seglen + k] = run;
+    }
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < total; i++) {
+    checksum += out[i];
+  }
+  printf("segments %d\\n", nseg);
+  printf("checksum %.4f\\n", checksum);
+  free(data);
+  free(out);
+  return 0;
+}
+"""
+
+
+def _render_scan(rng: RngStream, difficulty: int) -> GeneratedPair:
+    nseg = rng.randint(24, 40) + 8 * (difficulty - 1)
+    seglen = rng.choice([8, 16]) if difficulty < 3 else 16
+    params = dict(
+        nseg=nseg, seglen=seglen, dataseed=rng.randint(1000, 9999),
+        threads=rng.choice([32, 64]),
+    )
+    return GeneratedPair(
+        cuda_source=_t(_SCAN_CUDA, **params),
+        omp_source=_t(_SCAN_OMP, **params),
+        notes=f"{nseg} segments x {seglen} inclusive prefix sums",
+        params=params,
+    )
+
+
+# =====================================================================
+# histogram — contended atomic binning with a weighted checksum.
+# =====================================================================
+
+_HISTOGRAM_CUDA = """
+// synth histogram: atomic binning of hashed values into $nbins bins.
+__global__ void bin_values(int* data, int* bins, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    int v = data[i];
+$increments
+  }
+}
+
+int main(int argc, char** argv) {
+  int n = $n;
+  int nbins = $nbins;
+  int* h_data = (int*)malloc(n * sizeof(int));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    h_data[i] = rand() % 65536;
+  }
+  int* d_data;
+  int* d_bins;
+  cudaMalloc(&d_data, n * sizeof(int));
+  cudaMalloc(&d_bins, nbins * sizeof(int));
+  cudaMemcpy(d_data, h_data, n * sizeof(int), cudaMemcpyHostToDevice);
+  cudaMemset(d_bins, 0, nbins * sizeof(int));
+  int threads = $threads;
+  int blocks = (n + threads - 1) / threads;
+  bin_values<<<blocks, threads>>>(d_data, d_bins, n);
+  cudaDeviceSynchronize();
+  int* h_bins = (int*)malloc(nbins * sizeof(int));
+  cudaMemcpy(h_bins, d_bins, nbins * sizeof(int), cudaMemcpyDeviceToHost);
+  long checksum = 0;
+  for (int b = 0; b < nbins; b++) {
+    checksum += h_bins[b] * (b + 1);
+  }
+  printf("bins %d\\n", nbins);
+  printf("checksum %ld\\n", checksum);
+  cudaFree(d_data);
+  cudaFree(d_bins);
+  free(h_data);
+  free(h_bins);
+  return 0;
+}
+"""
+
+_HISTOGRAM_OMP = """
+// synth histogram: atomic binning of hashed values into $nbins bins.
+int main(int argc, char** argv) {
+  int n = $n;
+  int nbins = $nbins;
+  int* data = (int*)malloc(n * sizeof(int));
+  int* bins = (int*)malloc(nbins * sizeof(int));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    data[i] = rand() % 65536;
+  }
+  for (int b = 0; b < nbins; b++) {
+    bins[b] = 0;
+  }
+  #pragma omp target teams distribute parallel for map(to: data[0:n]) map(tofrom: bins[0:nbins])
+  for (int i = 0; i < n; i++) {
+    int v = data[i];
+$increments
+  }
+  long checksum = 0;
+  for (int b = 0; b < nbins; b++) {
+    checksum += bins[b] * (b + 1);
+  }
+  printf("bins %d\\n", nbins);
+  printf("checksum %ld\\n", checksum);
+  free(data);
+  free(bins);
+  return 0;
+}
+"""
+
+
+def _render_histogram(rng: RngStream, difficulty: int) -> GeneratedPair:
+    n = rng.randint(192, 256) + 96 * (difficulty - 1)
+    nbins = rng.choice([16, 32, 64])
+    mask = nbins - 1
+    shifts = [0] + [rng.choice([3, 4, 5]) for _ in range(difficulty - 1)]
+    cuda_inc: List[str] = []
+    omp_inc: List[str] = []
+    for sh in shifts:
+        expr = f"v & {mask}" if sh == 0 else f"(v >> {sh}) & {mask}"
+        cuda_inc.append(f"    atomicAdd(&bins[{expr}], 1);")
+        omp_inc.append(f"    #pragma omp atomic\n    bins[{expr}] += 1;")
+    params = dict(
+        n=n, nbins=nbins, dataseed=rng.randint(1000, 9999),
+        threads=rng.choice([64, 128]),
+    )
+    return GeneratedPair(
+        cuda_source=_t(_HISTOGRAM_CUDA, increments="\n".join(cuda_inc), **params),
+        omp_source=_t(_HISTOGRAM_OMP, increments="\n".join(omp_inc), **params),
+        notes=f"{len(shifts)} atomic increment(s)/element into {nbins} bins",
+        params=dict(params, passes=len(shifts)),
+    )
+
+
+# =====================================================================
+# matmul — dense matrix product, one output element per thread.
+# =====================================================================
+
+_MATMUL_CUDA = """
+// synth matmul: C = alpha * A x B, one output element per thread.
+__global__ void matmul(float* a, float* b, float* c, int n) {
+  int idx = blockIdx.x * blockDim.x + threadIdx.x;
+  if (idx < n * n) {
+    int row = idx / n;
+    int col = idx % n;
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) {
+      acc = acc + a[row * n + k] * b[k * n + col];
+    }
+    c[idx] = acc * $alpha;
+  }
+}
+
+int main(int argc, char** argv) {
+  int n = $n;
+  int total = n * n;
+  float* h_a = (float*)malloc(total * sizeof(float));
+  float* h_b = (float*)malloc(total * sizeof(float));
+  float* h_c = (float*)malloc(total * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < total; i++) {
+    h_a[i] = (rand() % 100) * 0.01f;
+    h_b[i] = (rand() % 100) * 0.01f;
+  }
+  float* d_a;
+  float* d_b;
+  float* d_c;
+  cudaMalloc(&d_a, total * sizeof(float));
+  cudaMalloc(&d_b, total * sizeof(float));
+  cudaMalloc(&d_c, total * sizeof(float));
+  cudaMemcpy(d_a, h_a, total * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(d_b, h_b, total * sizeof(float), cudaMemcpyHostToDevice);
+  int threads = $threads;
+  int blocks = (total + threads - 1) / threads;
+  matmul<<<blocks, threads>>>(d_a, d_b, d_c, n);
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_c, d_c, total * sizeof(float), cudaMemcpyDeviceToHost);
+  double checksum = 0.0;
+  for (int i = 0; i < total; i++) {
+    checksum += h_c[i];
+  }
+  printf("n %d\\n", n);
+  printf("checksum %.4f\\n", checksum);
+  cudaFree(d_a);
+  cudaFree(d_b);
+  cudaFree(d_c);
+  free(h_a);
+  free(h_b);
+  free(h_c);
+  return 0;
+}
+"""
+
+_MATMUL_OMP = """
+// synth matmul: C = alpha * A x B (target offload).
+int main(int argc, char** argv) {
+  int n = $n;
+  int total = n * n;
+  float* a = (float*)malloc(total * sizeof(float));
+  float* b = (float*)malloc(total * sizeof(float));
+  float* c = (float*)malloc(total * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < total; i++) {
+    a[i] = (rand() % 100) * 0.01f;
+    b[i] = (rand() % 100) * 0.01f;
+  }
+  #pragma omp target teams distribute parallel for map(to: a[0:total]) map(to: b[0:total]) map(from: c[0:total])
+  for (int idx = 0; idx < total; idx++) {
+    int row = idx / n;
+    int col = idx % n;
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) {
+      acc = acc + a[row * n + k] * b[k * n + col];
+    }
+    c[idx] = acc * $alpha;
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < total; i++) {
+    checksum += c[i];
+  }
+  printf("n %d\\n", n);
+  printf("checksum %.4f\\n", checksum);
+  free(a);
+  free(b);
+  free(c);
+  return 0;
+}
+"""
+
+
+def _render_matmul(rng: RngStream, difficulty: int) -> GeneratedPair:
+    n = rng.randint(8, 12) + 2 * (difficulty - 1)
+    alpha = f"{0.5 + 0.25 * rng.randint(0, 3):.2f}f"
+    params = dict(
+        n=n, alpha=alpha, dataseed=rng.randint(1000, 9999),
+        threads=rng.choice([32, 64, 128]),
+    )
+    return GeneratedPair(
+        cuda_source=_t(_MATMUL_CUDA, **params),
+        omp_source=_t(_MATMUL_OMP, **params),
+        notes=f"{n}x{n} matrix product, alpha={alpha}",
+        params=params,
+    )
+
+
+# =====================================================================
+# gather — strided gather; difficulty >= 2 adds an atomic scatter pass.
+# =====================================================================
+
+_GATHER_CUDA = """
+// synth gather: strided gather$scatter_title.
+__global__ void gather_pass(float* src, float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = src[(i * $stride + $offset) % n] * $scale;
+  }
+}
+$scatter_kernel
+int main(int argc, char** argv) {
+  int n = $n;
+  float* h_src = (float*)malloc(n * sizeof(float));
+  float* h_out = (float*)malloc(n * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    h_src[i] = (rand() % 1000) * 0.001f;
+  }
+  float* d_src;
+  float* d_out;
+  cudaMalloc(&d_src, n * sizeof(float));
+  cudaMalloc(&d_out, n * sizeof(float));
+  cudaMemcpy(d_src, h_src, n * sizeof(float), cudaMemcpyHostToDevice);
+$scatter_alloc
+  int threads = $threads;
+  int blocks = (n + threads - 1) / threads;
+  gather_pass<<<blocks, threads>>>(d_src, d_out, n);
+$scatter_launch
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_out, d_out, n * sizeof(float), cudaMemcpyDeviceToHost);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) {
+    checksum += h_out[i];
+  }
+  printf("n %d\\n", n);
+  printf("checksum %.4f\\n", checksum);
+$scatter_report
+  cudaFree(d_src);
+  cudaFree(d_out);
+  free(h_src);
+  free(h_out);
+  return 0;
+}
+"""
+
+_GATHER_CUDA_SCATTER_KERNEL = """
+__global__ void scatter_pass(int* acc, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    atomicAdd(&acc[(i * $stride) & $mask], 1);
+  }
+}
+"""
+
+_GATHER_OMP = """
+// synth gather: strided gather$scatter_title (target offload).
+int main(int argc, char** argv) {
+  int n = $n;
+  float* src = (float*)malloc(n * sizeof(float));
+  float* out = (float*)malloc(n * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    src[i] = (rand() % 1000) * 0.001f;
+  }
+$scatter_init
+  #pragma omp target teams distribute parallel for map(to: src[0:n]) map(from: out[0:n])
+  for (int i = 0; i < n; i++) {
+    out[i] = src[(i * $stride + $offset) % n] * $scale;
+  }
+$scatter_loop
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) {
+    checksum += out[i];
+  }
+  printf("n %d\\n", n);
+  printf("checksum %.4f\\n", checksum);
+$scatter_report
+  free(src);
+  free(out);
+  return 0;
+}
+"""
+
+
+def _render_gather(rng: RngStream, difficulty: int) -> GeneratedPair:
+    n = rng.randint(128, 192) + 64 * (difficulty - 1)
+    stride = rng.choice([3, 5, 7, 9])
+    offset = rng.randint(1, 31)
+    scale = f"{0.5 + 0.125 * rng.randint(0, 4):.3f}f"
+    nacc = 32
+    mask = nacc - 1
+    with_scatter = difficulty >= 2
+    dataseed = rng.randint(1000, 9999)
+    threads = rng.choice([64, 128])
+
+    if with_scatter:
+        cuda_kernel = _t(_GATHER_CUDA_SCATTER_KERNEL, stride=stride, mask=mask)
+        cuda_alloc = (
+            "  int* d_acc;\n"
+            f"  cudaMalloc(&d_acc, {nacc} * sizeof(int));\n"
+            f"  cudaMemset(d_acc, 0, {nacc} * sizeof(int));"
+        )
+        cuda_launch = "  scatter_pass<<<blocks, threads>>>(d_acc, n);"
+        cuda_report = (
+            f"  int* h_acc = (int*)malloc({nacc} * sizeof(int));\n"
+            f"  cudaMemcpy(h_acc, d_acc, {nacc} * sizeof(int), "
+            "cudaMemcpyDeviceToHost);\n"
+            "  long hits = 0;\n"
+            f"  for (int b = 0; b < {nacc}; b++) " "{\n"
+            "    hits += h_acc[b] * (b + 1);\n"
+            "  }\n"
+            '  printf("hits %ld\\n", hits);\n'
+            "  cudaFree(d_acc);\n"
+            "  free(h_acc);"
+        )
+        omp_init = (
+            f"  int* acc = (int*)malloc({nacc} * sizeof(int));\n"
+            f"  for (int b = 0; b < {nacc}; b++) " "{\n"
+            "    acc[b] = 0;\n"
+            "  }"
+        )
+        omp_loop = (
+            "  #pragma omp target teams distribute parallel for "
+            f"map(tofrom: acc[0:{nacc}])\n"
+            "  for (int i = 0; i < n; i++) {\n"
+            "    #pragma omp atomic\n"
+            f"    acc[(i * {stride}) & {mask}] += 1;\n"
+            "  }"
+        )
+        omp_report = (
+            "  long hits = 0;\n"
+            f"  for (int b = 0; b < {nacc}; b++) " "{\n"
+            "    hits += acc[b] * (b + 1);\n"
+            "  }\n"
+            '  printf("hits %ld\\n", hits);\n'
+            "  free(acc);"
+        )
+        title = " + atomic scatter"
+    else:
+        cuda_kernel = ""
+        cuda_alloc = cuda_launch = cuda_report = ""
+        omp_init = omp_loop = omp_report = ""
+        title = ""
+
+    params = dict(
+        n=n, stride=stride, offset=offset, scale=scale,
+        dataseed=dataseed, threads=threads,
+    )
+    cuda = _t(
+        _GATHER_CUDA, scatter_title=title, scatter_kernel=cuda_kernel,
+        scatter_alloc=cuda_alloc, scatter_launch=cuda_launch,
+        scatter_report=cuda_report, **params,
+    )
+    omp = _t(
+        _GATHER_OMP, scatter_title=title, scatter_init=omp_init,
+        scatter_loop=omp_loop, scatter_report=omp_report, **params,
+    )
+    return GeneratedPair(
+        cuda_source=cuda,
+        omp_source=omp,
+        notes=f"stride-{stride} gather" + (
+            " with atomic scatter pass" if with_scatter else ""
+        ),
+        params=dict(params, scatter=with_scatter),
+    )
+
+
+# =====================================================================
+# fusion — two chained elementwise map kernels.
+# =====================================================================
+
+_FUSION_CUDA = """
+// synth fusion: two chained elementwise maps (fusion candidate).
+__global__ void map_one(float* a, float* b, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    b[i] = a[i] * $c1 + $c2;
+  }
+}
+
+__global__ void map_two(float* b, float* c, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    c[i] = $second;
+  }
+}
+
+int main(int argc, char** argv) {
+  int n = $n;
+  float* h_a = (float*)malloc(n * sizeof(float));
+  float* h_c = (float*)malloc(n * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    h_a[i] = (rand() % 1000) * 0.001f;
+  }
+  float* d_a;
+  float* d_b;
+  float* d_c;
+  cudaMalloc(&d_a, n * sizeof(float));
+  cudaMalloc(&d_b, n * sizeof(float));
+  cudaMalloc(&d_c, n * sizeof(float));
+  cudaMemcpy(d_a, h_a, n * sizeof(float), cudaMemcpyHostToDevice);
+  int threads = $threads;
+  int blocks = (n + threads - 1) / threads;
+  map_one<<<blocks, threads>>>(d_a, d_b, n);
+  map_two<<<blocks, threads>>>(d_b, d_c, n);
+  cudaDeviceSynchronize();
+  cudaMemcpy(h_c, d_c, n * sizeof(float), cudaMemcpyDeviceToHost);
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) {
+    checksum += h_c[i];
+  }
+  printf("n %d\\n", n);
+  printf("checksum %.4f\\n", checksum);
+  cudaFree(d_a);
+  cudaFree(d_b);
+  cudaFree(d_c);
+  free(h_a);
+  free(h_c);
+  return 0;
+}
+"""
+
+_FUSION_OMP = """
+// synth fusion: two chained elementwise maps (target offload).
+int main(int argc, char** argv) {
+  int n = $n;
+  float* a = (float*)malloc(n * sizeof(float));
+  float* b = (float*)malloc(n * sizeof(float));
+  float* c = (float*)malloc(n * sizeof(float));
+  srand($dataseed);
+  for (int i = 0; i < n; i++) {
+    a[i] = (rand() % 1000) * 0.001f;
+  }
+  #pragma omp target data map(to: a[0:n]) map(alloc: b[0:n]) map(from: c[0:n])
+  {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < n; i++) {
+      b[i] = a[i] * $c1 + $c2;
+    }
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < n; i++) {
+      c[i] = $second;
+    }
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < n; i++) {
+    checksum += c[i];
+  }
+  printf("n %d\\n", n);
+  printf("checksum %.4f\\n", checksum);
+  free(a);
+  free(b);
+  free(c);
+  return 0;
+}
+"""
+
+_FUSION_SECOND_OPS = [
+    "b[i] * b[i] + $c3",
+    "fmaxf(b[i], $c3)",
+    "sqrtf(fabsf(b[i])) + $c3",
+    "b[i] * $c3 + b[i]",
+]
+
+
+def _render_fusion(rng: RngStream, difficulty: int) -> GeneratedPair:
+    n = rng.randint(128, 192) + 64 * (difficulty - 1)
+    c1 = f"{0.5 + 0.25 * rng.randint(0, 3):.2f}f"
+    c2 = f"{0.1 * rng.randint(1, 9):.1f}f"
+    c3 = f"{0.1 * rng.randint(1, 9):.1f}f"
+    second = Template(rng.choice(_FUSION_SECOND_OPS)).substitute(c3=c3)
+    params = dict(
+        n=n, c1=c1, c2=c2, second=second,
+        dataseed=rng.randint(1000, 9999), threads=rng.choice([64, 128, 256]),
+    )
+    return GeneratedPair(
+        cuda_source=_t(_FUSION_CUDA, **params),
+        omp_source=_t(_FUSION_OMP, **params),
+        notes=f"map chain b=a*{c1}+{c2}; c={second}",
+        params=params,
+    )
+
+
+# =====================================================================
+# Registry
+# =====================================================================
+
+FAMILIES: Dict[str, Family] = {
+    f.name: f
+    for f in (
+        Family(
+            name="stencil",
+            category="Synthetic: stencil sweep",
+            description="R-point 1D stencil with idempotent repeat sweeps",
+            render=_render_stencil,
+        ),
+        Family(
+            name="reduction",
+            category="Synthetic: global reduction",
+            description="global sum via atomicAdd vs reduction(+:)",
+            render=_render_reduction,
+        ),
+        Family(
+            name="scan",
+            category="Synthetic: segmented scan",
+            description="per-segment inclusive prefix sums",
+            render=_render_scan,
+        ),
+        Family(
+            name="histogram",
+            category="Synthetic: atomic histogram",
+            description="contended atomic binning with weighted checksum",
+            render=_render_histogram,
+        ),
+        Family(
+            name="matmul",
+            category="Synthetic: dense matmul",
+            description="one-element-per-thread dense matrix product",
+            render=_render_matmul,
+        ),
+        Family(
+            name="gather",
+            category="Synthetic: gather/scatter",
+            description="strided gather; difficulty >= 2 adds atomic scatter",
+            render=_render_gather,
+        ),
+        Family(
+            name="fusion",
+            category="Synthetic: map fusion",
+            description="two chained elementwise map kernels",
+            render=_render_fusion,
+        ),
+    )
+}
+
+
+def family_names() -> List[str]:
+    """All family identifiers, in registry (paper-ish) order."""
+    return list(FAMILIES)
+
+
+def get_family(name: str) -> Family:
+    """Look up a family by identifier; raises ValueError with the catalogue."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        known = ", ".join(FAMILIES)
+        raise ValueError(
+            f"unknown kernel family {name!r}; known families: {known}"
+        ) from None

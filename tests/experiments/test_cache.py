@@ -37,6 +37,22 @@ class TestFingerprint:
         assert PipelineConfig(verify_output=False).fingerprint() != base
 
 
+class TestCacheKeys:
+    def test_synth_scenarios_get_distinct_cache_keys(self):
+        # A generated app can never collide with a Table IV entry (or with a
+        # differently-parameterized generation of the same family).
+        table4 = cache_key(SCENARIO, "paper", 2024, FP)
+        synth = cache_key(
+            Scenario("gpt4", OMP2CUDA, "synth-stencil-d1-s0"),
+            "paper", 2024, FP,
+        )
+        other_seed = cache_key(
+            Scenario("gpt4", OMP2CUDA, "synth-stencil-d1-s1"),
+            "paper", 2024, FP,
+        )
+        assert len({table4, synth, other_seed}) == 3
+
+
 class TestResultCache:
     def test_miss_then_hit_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
@@ -78,7 +94,9 @@ class TestResultCache:
 
         # Valid JSON whose stored key does not match its digest (tampering /
         # format drift) is rejected too.
-        entry = {"version": 1, "key": "0" * 64, "result": {}}
+        from repro.experiments.cache import CACHE_FORMAT_VERSION
+
+        entry = {"version": CACHE_FORMAT_VERSION, "key": "0" * 64, "result": {}}
         path.write_text(json.dumps(entry))
         assert cache.get(SCENARIO, "paper", 2024, FP) is None
 

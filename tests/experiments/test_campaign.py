@@ -113,6 +113,117 @@ class TestPresets:
             get_preset("nope")
 
 
+class TestSynthSuiteCampaigns:
+    def test_synth_sweep_preset_names_a_generated_suite(self):
+        spec = get_preset("synth-sweep")
+        assert spec.suite == "synth:stencil,reduction:seeds=2"
+        assert CampaignSpec.from_dict(spec.to_dict()).suite == spec.suite
+
+    def test_suite_defaults_to_table4_in_old_manifests(self):
+        data = _spec().to_dict()
+        del data["suite"]
+        assert CampaignSpec.from_dict(data).suite == "table4"
+
+    def test_campaign_runs_and_replays_over_a_synth_suite(self, tmp_path):
+        spec = CampaignSpec(
+            name="mini-synth",
+            suite="synth:scan:seeds=2",
+            models=["gpt4"],
+            directions=[OMP2CUDA],
+            variants=[Variant(name="baseline")],
+        )
+        runner = CampaignRunner(spec, root=tmp_path, jobs=2)
+        result = runner.run()
+        assert result.total_pipeline_runs == 2
+        assert [r.scenario.app_name for r in result.runs[0].results] == [
+            "synth-scan-d1-s0", "synth-scan-d1-s1",
+        ]
+        # A re-run replays every generated-app cell from artifacts.
+        rerun = CampaignRunner(spec, root=tmp_path, jobs=2).run()
+        assert rerun.total_pipeline_runs == 0
+        # ...and so does loading the campaign directory from disk.
+        loaded = load_campaign(tmp_path / "mini-synth")
+        assert loaded.spec.suite == "synth:scan:seeds=2"
+        assert [r.scenario.app_name for r in loaded.runs[0].results] == [
+            "synth-scan-d1-s0", "synth-scan-d1-s1",
+        ]
+
+    def test_rerunning_a_directory_under_a_different_grid_is_refused(
+        self, tmp_path
+    ):
+        spec = CampaignSpec(
+            name="mix",
+            suite="synth:scan:seeds=1",
+            models=["gpt4"],
+            directions=[OMP2CUDA],
+            variants=[Variant(name="baseline")],
+        )
+        CampaignRunner(spec, root=tmp_path, jobs=1).run()
+        # Same name, different suite: must refuse, not blend sessions.
+        other = CampaignSpec(
+            name="mix",
+            suite="synth:matmul:seeds=1",
+            models=["gpt4"],
+            directions=[OMP2CUDA],
+            variants=[Variant(name="baseline")],
+        )
+        with pytest.raises(CampaignError, match="different grid"):
+            CampaignRunner(other, root=tmp_path)
+        # Same grid under a different app filter is refused too.
+        filtered = CampaignSpec(
+            name="mix",
+            suite="synth:scan:seeds=1",
+            models=["gpt4"],
+            directions=[OMP2CUDA],
+            apps=["synth-scan-d1-s0"],
+            variants=[Variant(name="baseline")],
+        )
+        with pytest.raises(CampaignError, match="different grid"):
+            CampaignRunner(filtered, root=tmp_path)
+        # The identical spec still resumes (replay, zero executions) —
+        # including under the canonical spelling of the same suite.
+        rerun = CampaignRunner(spec, root=tmp_path, jobs=1).run()
+        assert rerun.total_pipeline_runs == 0
+        canonical = CampaignSpec(
+            name="mix",
+            suite="synth:scan:seeds=1:difficulty=1",
+            models=["gpt4"],
+            directions=[OMP2CUDA],
+            variants=[Variant(name="baseline")],
+        )
+        assert CampaignRunner(
+            canonical, root=tmp_path, jobs=1
+        ).run().total_pipeline_runs == 0
+        # Deleting the manifest does not reopen the blending hole: sessions
+        # without a readable manifest cannot be tied to any grid.
+        (tmp_path / "mix" / MANIFEST_NAME).unlink()
+        with pytest.raises(CampaignError, match="no readable manifest"):
+            CampaignRunner(other, root=tmp_path)
+        with pytest.raises(CampaignError, match="no readable manifest"):
+            CampaignRunner(spec, root=tmp_path)
+
+    def test_out_of_suite_app_filter_is_a_campaign_error(self, tmp_path):
+        spec = CampaignSpec(
+            name="bad-filter",
+            suite="synth:scan:seeds=1",
+            models=["gpt4"],
+            directions=[OMP2CUDA],
+            apps=["jacobi"],
+            variants=[Variant(name="baseline")],
+        )
+        with pytest.raises(CampaignError, match="unusable app filter"):
+            CampaignRunner(spec, root=tmp_path)
+
+    def test_unusable_suite_is_a_campaign_error(self, tmp_path):
+        spec = CampaignSpec(
+            name="bad-suite",
+            suite="synth:frobnicate",
+            variants=[Variant(name="baseline")],
+        )
+        with pytest.raises(CampaignError, match="unusable suite"):
+            CampaignRunner(spec, root=tmp_path)
+
+
 class TestCampaignExecution:
     def test_run_produces_directory_manifest_and_sessions(self, tmp_path):
         result = CampaignRunner(_spec(), root=tmp_path, jobs=2).run()

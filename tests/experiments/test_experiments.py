@@ -71,6 +71,61 @@ class TestRunner:
         assert a.result.self_corrections == b.result.self_corrections
 
 
+class TestSuiteThreading:
+    def test_runner_enumerates_suite_apps(self):
+        runner = ExperimentRunner(suite="synth:stencil:seeds=2")
+        scenarios = runner.scenarios(models=["gpt4"], directions=[OMP2CUDA])
+        assert [s.app_name for s in scenarios] == [
+            "synth-stencil-d1-s0", "synth-stencil-d1-s1",
+        ]
+
+    def test_full_synth_grid_size(self):
+        runner = ExperimentRunner(suite="synth:stencil,matmul:seeds=3")
+        assert len(runner.scenarios()) == 6 * 4 * 2
+
+    def test_run_executes_generated_scenarios(self):
+        runner = ExperimentRunner(suite="synth:reduction:seeds=1")
+        results = runner.run(models=["gpt4"], directions=[OMP2CUDA])
+        assert len(results) == 1
+        assert results[0].scenario.app_name == "synth-reduction-d1-s0"
+        assert results[0].result.status in (
+            "success", "compile-failed", "execute-failed", "output-mismatch",
+            "no-code",
+        )
+
+    def test_generated_apps_draw_distinct_behaviour(self):
+        # Unplanned scenarios salt the LLM stream per app, so a generated
+        # grid is not one behaviour class repeated N times.
+        runner = ExperimentRunner(suite="synth:all:seeds=2")
+        results = runner.run(models=["deepseek"], directions=[OMP2CUDA])
+        outcomes = {
+            (r.result.status, r.result.self_corrections) for r in results
+        }
+        assert len(outcomes) > 1
+
+    def test_merged_suite_runs_both_kinds(self):
+        runner = ExperimentRunner(suite="table4+synth:scan:seeds=1")
+        scenarios = runner.scenarios(models=["gpt4"], directions=[OMP2CUDA])
+        names = [s.app_name for s in scenarios]
+        assert "jacobi" in names and "synth-scan-d1-s0" in names
+
+    def test_out_of_suite_apps_are_rejected(self):
+        from repro.errors import UnknownApplicationError
+        from repro.experiments import Scenario
+
+        runner = ExperimentRunner(suite="synth:scan:seeds=1")
+        with pytest.raises(UnknownApplicationError):
+            runner.scenarios(apps=["jacobi"])
+        with pytest.raises(UnknownApplicationError):
+            runner.run_scenario(Scenario("gpt4", OMP2CUDA, "jacobi"))
+
+    def test_app_filter_is_canonicalized_case_insensitively(self):
+        runner = ExperimentRunner()
+        scenarios = runner.scenarios(models=["gpt4"], directions=[OMP2CUDA],
+                                     apps=["JACOBI"])
+        assert [s.app_name for s in scenarios] == ["jacobi"]
+
+
 class TestTables:
     def test_table4_contains_all_apps_and_calibrated_values(self):
         text = render_table4()

@@ -1,11 +1,18 @@
-"""Tests for the HeCBench-style application suite."""
+"""Tests for the HeCBench-style application suite and the suite registry."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.errors import UnknownApplicationError
-from repro.hecbench import all_apps, app_names, get_app
+from repro.errors import UnknownApplicationError, UnknownSuiteError
+from repro.hecbench import (
+    Suite,
+    all_apps,
+    app_names,
+    get_app,
+    resolve_suite,
+    suite_names,
+)
 from repro.minilang.source import Dialect
 from repro.toolchain import Executor, compiler_for
 
@@ -26,9 +33,22 @@ class TestRegistry:
     def test_get_app(self):
         assert get_app("jacobi").name == "jacobi"
 
+    def test_get_app_is_case_insensitive(self):
+        assert get_app("JACOBI").name == "jacobi"
+        assert get_app("AtomicCost").name == "atomicCost"
+        assert get_app("randomaccess").name == "randomAccess"
+
     def test_unknown_app_raises(self):
         with pytest.raises(UnknownApplicationError):
             get_app("nonexistent")
+
+    def test_typo_gets_did_you_mean_hint(self):
+        with pytest.raises(UnknownApplicationError,
+                           match="did you mean 'jacobi'"):
+            get_app("jacobbi")
+        with pytest.raises(UnknownApplicationError,
+                           match="did you mean 'pathfinder'"):
+            get_app("pathfindr")
 
     def test_specs_have_paper_runtimes(self):
         for app in all_apps():
@@ -101,6 +121,62 @@ class TestApplications:
             )
         else:
             assert sim_omp_slower == paper_omp_slower
+
+
+class TestSuiteRegistry:
+    def test_table4_is_registered_and_default(self):
+        assert "table4" in suite_names()
+        assert resolve_suite(None).name == "table4"
+        assert resolve_suite("table4").app_names() == PAPER_APP_NAMES
+
+    def test_synth_suite_resolves_dynamically(self):
+        suite = resolve_suite("synth:stencil,reduction:seeds=2")
+        assert len(suite) == 4
+        assert suite.app_names() == [
+            "synth-stencil-d1-s0", "synth-stencil-d1-s1",
+            "synth-reduction-d1-s0", "synth-reduction-d1-s1",
+        ]
+
+    def test_merged_view(self):
+        suite = resolve_suite("table4+synth:matmul:seeds=2")
+        assert len(suite) == 12
+        assert suite.app_names()[:10] == PAPER_APP_NAMES
+        assert suite.app_names()[10:] == [
+            "synth-matmul-d1-s0", "synth-matmul-d1-s1",
+        ]
+
+    def test_duplicate_apps_in_merge_rejected(self):
+        with pytest.raises(UnknownSuiteError, match="repeats app name"):
+            resolve_suite("table4+table4")
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(UnknownSuiteError, match="registered suites"):
+            resolve_suite("table5000")
+
+    def test_suite_scoped_lookup_and_defaults(self):
+        spec = "synth:histogram:seeds=1"
+        assert all_apps(spec)[0].name == "synth-histogram-d1-s0"
+        assert app_names(spec) == ["synth-histogram-d1-s0"]
+        assert get_app("SYNTH-HISTOGRAM-D1-S0", suite=spec).name == (
+            "synth-histogram-d1-s0"
+        )
+        with pytest.raises(UnknownApplicationError):
+            resolve_suite(spec).get("jacobi")
+
+    def test_synth_names_resolve_without_a_suite(self):
+        # Names encode the generation tuple: session/cache replays rebuild
+        # generated apps from names alone.
+        app = get_app("synth-fusion-d2-s3")
+        assert app.name == "synth-fusion-d2-s3"
+        assert app.cuda_source == get_app("synth-fusion-d2-s3").cuda_source
+
+    def test_synth_name_lookup_is_case_insensitive_too(self):
+        assert get_app("Synth-Fusion-D2-S3").name == "synth-fusion-d2-s3"
+
+    def test_suite_passthrough(self):
+        suite = resolve_suite("table4")
+        assert resolve_suite(suite) is suite
+        assert isinstance(suite, Suite)
 
 
 class TestTable4Shapes:

@@ -1,0 +1,183 @@
+"""Tests for the synthetic kernel generator (repro.synth)."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import UnknownApplicationError, UnknownSuiteError
+from repro.synth import (
+    FAMILIES,
+    SynthSpec,
+    SynthSuiteSpec,
+    app_from_name,
+    differential_check,
+    family_names,
+    generate_app,
+    generate_suite_apps,
+    is_synth_name,
+    parse_suite_spec,
+)
+from repro.toolchain import Executor
+
+ALL_FAMILIES = family_names()
+
+
+def _digest(app) -> str:
+    h = hashlib.sha256()
+    h.update(app.cuda_source.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(app.omp_source.encode("utf-8"))
+    return h.hexdigest()
+
+
+class TestNaming:
+    def test_name_round_trip(self):
+        spec = SynthSpec("stencil", difficulty=2, seed=7)
+        assert spec.name == "synth-stencil-d2-s7"
+        rebuilt = generate_app(SynthSpec.from_name(spec.name))
+        direct = generate_app(spec)
+        assert rebuilt.cuda_source == direct.cuda_source
+        assert rebuilt.omp_source == direct.omp_source
+        assert rebuilt.work_scale == direct.work_scale
+
+    def test_is_synth_name(self):
+        assert is_synth_name("synth-matmul-d1-s0")
+        assert not is_synth_name("jacobi")
+        assert not is_synth_name("synth-matmul")
+
+    def test_unknown_family_in_name_raises(self):
+        with pytest.raises(UnknownApplicationError, match="known families"):
+            app_from_name("synth-frobnicate-d1-s0")
+
+    def test_malformed_name_raises(self):
+        with pytest.raises(UnknownApplicationError):
+            app_from_name("synth-stencil-s0-d1")
+
+    def test_zero_difficulty_name_is_an_unknown_app(self):
+        # The name grammar admits d0 but generation requires >= 1; it must
+        # surface as the usual unknown-app error, not a raw ValueError.
+        with pytest.raises(UnknownApplicationError, match="difficulty"):
+            app_from_name("synth-stencil-d0-s0")
+
+
+class TestDeterminism:
+    def test_same_spec_is_byte_identical_in_process(self):
+        for family in ALL_FAMILIES:
+            spec = SynthSpec(family, difficulty=2, seed=3)
+            assert _digest(generate_app(spec)) == _digest(generate_app(spec))
+
+    def test_byte_identical_across_processes(self):
+        """Same (family, difficulty, seed) -> same bytes in a fresh process."""
+        specs = [SynthSpec(f, difficulty=2, seed=5) for f in ALL_FAMILIES]
+        expected = {s.name: _digest(generate_app(s)) for s in specs}
+        script = (
+            "import hashlib, json\n"
+            "from repro.synth import SynthSpec, generate_app\n"
+            "out = {}\n"
+            f"for name in {json.dumps(list(expected))}:\n"
+            "    app = generate_app(SynthSpec.from_name(name))\n"
+            "    h = hashlib.sha256()\n"
+            "    h.update(app.cuda_source.encode('utf-8'))\n"
+            "    h.update(b'\\x00')\n"
+            "    h.update(app.omp_source.encode('utf-8'))\n"
+            "    out[name] = h.hexdigest()\n"
+            "print(json.dumps(out))\n"
+        )
+        env = dict(os.environ)
+        repro_root = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repro_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert json.loads(proc.stdout) == expected
+
+    def test_seeds_actually_vary_the_sources(self):
+        for family in ALL_FAMILIES:
+            digests = {
+                _digest(generate_app(SynthSpec(family, 1, s)))
+                for s in range(4)
+            }
+            assert len(digests) > 1, f"{family}: seeds produced one program"
+
+    def test_difficulty_changes_the_program(self):
+        a = generate_app(SynthSpec("stencil", 1, 0))
+        b = generate_app(SynthSpec("stencil", 3, 0))
+        assert a.cuda_source != b.cuda_source
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return Executor()
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_differential_agreement(family, seed, executor):
+    """Every family agrees CUDA-vs-OMP at 3 seeds (the self-check oracle)."""
+    app = generate_app(SynthSpec(family, difficulty=1 + seed % 3, seed=seed))
+    report = differential_check(app, executor)
+    assert report.ok, f"{app.name} failed [{report.stage}]: {report.detail}"
+
+
+class TestAppSpecs:
+    def test_generated_apps_carry_perf_scales(self):
+        for family in ALL_FAMILIES:
+            app = generate_app(SynthSpec(family, 1, 0))
+            assert app.work_scale > 0
+            assert app.launch_scale > 0
+            assert app.paper_runtime_cuda is None
+            assert app.category.startswith("Synthetic")
+
+    def test_detects_broken_pairs(self, executor):
+        """A corrupted pair must fail the oracle, not slip through."""
+        import dataclasses
+
+        app = generate_app(SynthSpec("reduction", 1, 0))
+        broken = dataclasses.replace(
+            app, omp_source=app.omp_source.replace("sum += ", "sum += 2.0 * ")
+        )
+        report = differential_check(broken, executor)
+        assert not report.ok
+        assert report.stage == "output-mismatch"
+
+
+class TestSuiteSpecs:
+    def test_parse_and_round_trip(self):
+        spec = parse_suite_spec("synth:stencil,reduction:seeds=3:difficulty=2")
+        assert spec.families == ("stencil", "reduction")
+        assert spec.seeds == 3
+        assert spec.difficulty == 2
+        assert parse_suite_spec(spec.spec_string) == spec
+
+    def test_defaults_and_all(self):
+        spec = parse_suite_spec("synth:all")
+        assert spec.families == tuple(FAMILIES)
+        assert spec.seeds == 1
+        assert spec.difficulty == 1
+
+    def test_generate_suite_apps_family_major(self):
+        apps = generate_suite_apps(["stencil", "matmul"], seeds=2)
+        assert [a.name for a in apps] == [
+            "synth-stencil-d1-s0", "synth-stencil-d1-s1",
+            "synth-matmul-d1-s0", "synth-matmul-d1-s1",
+        ]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(UnknownSuiteError, match="known families"):
+            parse_suite_spec("synth:frobnicate")
+
+    def test_bad_option_rejected(self):
+        with pytest.raises(UnknownSuiteError, match="bad synth suite option"):
+            parse_suite_spec("synth:stencil:turbo=9")
+        with pytest.raises(UnknownSuiteError, match="integer"):
+            parse_suite_spec("synth:stencil:seeds=lots")
+        with pytest.raises(UnknownSuiteError, match="seeds >= 1"):
+            SynthSuiteSpec(families=("stencil",), seeds=0)

@@ -16,6 +16,23 @@ class TestCli:
         out = capsys.readouterr().out
         assert "matrix-rotate" in out and "randomAccess" in out
 
+    def test_apps_shows_category_and_paper_runtimes(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "Math" in out
+        assert "57.3354" in out  # jacobi OpenMP paper runtime
+        assert "0.8641" in out   # jacobi CUDA paper runtime
+
+    def test_apps_is_suite_aware(self, capsys):
+        assert main(["apps", "--suite", "synth:gather:seeds=2"]) == 0
+        out = capsys.readouterr().out
+        assert "synth-gather-d1-s0" in out and "synth-gather-d1-s1" in out
+        assert "matrix-rotate" not in out
+
+    def test_apps_unknown_suite_is_error(self, capsys):
+        assert main(["apps", "--suite", "table5000"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
     def test_models(self, capsys):
         assert main(["models"]) == 0
         out = capsys.readouterr().out
@@ -49,6 +66,25 @@ class TestCli:
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["translate", "frobnicate"])
+
+    def test_translate_typo_gets_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["translate", "jacobbi"])
+        assert "did you mean 'jacobi'" in capsys.readouterr().err
+
+    def test_translate_is_case_insensitive(self, capsys):
+        rc = main(["translate", "LAYOUT", "--model", "codestral",
+                   "--direction", "omp2cuda"])
+        assert rc == 0
+        assert "status: success" in capsys.readouterr().out
+
+    def test_translate_synth_app_by_name(self, capsys):
+        rc = main(["translate", "synth-stencil-d1-s0", "--model", "codestral",
+                   "--direction", "omp2cuda", "--show-code"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "status: success" in out
+        assert "__global__" in out
 
 
 class TestEvaluateParallel:
@@ -91,6 +127,63 @@ class TestEvaluateEmptyFilters:
     def test_empty_apps_filter_is_a_usage_error(self, capsys):
         assert main(["evaluate", "--apps", "--direction", "omp2cuda"]) == 2
         assert "--apps requires at least one value" in capsys.readouterr().err
+
+
+class TestSynthCli:
+    def test_synth_list(self, capsys):
+        assert main(["synth", "list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("stencil", "reduction", "scan", "histogram",
+                       "matmul", "gather", "fusion"):
+            assert family in out
+
+    def test_synth_generate_checks_and_writes(self, capsys, tmp_path):
+        out_dir = tmp_path / "gen"
+        rc = main(["synth", "generate", "--families", "stencil,reduction",
+                   "--seeds", "3", "--out", str(out_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "6/6 generated pair(s) passed" in out
+        assert "suite spec: synth:stencil,reduction:seeds=3:difficulty=1" in out
+        assert len(list(out_dir.glob("*.cu"))) == 6
+        assert len(list(out_dir.glob("*.cpp"))) == 6
+
+    def test_synth_check_reports_per_family(self, capsys):
+        rc = main(["synth", "check", "--families", "matmul", "--seeds", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "matmul" in out
+        assert "differential agreement: 2/2" in out
+
+    def test_synth_unknown_family_is_usage_error(self, capsys):
+        assert main(["synth", "generate", "--families", "frobnicate"]) == 2
+        assert "known families" in capsys.readouterr().err
+
+
+class TestSuiteEvaluate:
+    def test_evaluate_with_synth_suite(self, capsys):
+        rc = main(["evaluate", "--suite", "synth:scan:seeds=2",
+                   "--models", "gpt4", "--direction", "omp2cuda"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "synth-scan-d1-s0" in out and "synth-scan-d1-s1" in out
+        assert "matrix-rotate" not in out
+
+    def test_evaluate_unknown_suite_is_error(self, capsys):
+        assert main(["evaluate", "--suite", "table5000"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_evaluate_app_outside_suite_is_error(self, capsys):
+        assert main(["evaluate", "--suite", "synth:scan:seeds=1",
+                     "--apps", "jacobi"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_evaluate_apps_canonicalized_case_insensitively(self, capsys):
+        rc = main(["evaluate", "--models", "wizardcoder", "--apps", "ENTROPY",
+                   "--direction", "cuda2omp"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "entropy" in out
 
 
 class TestTableForwardsProfileAndSeed:
