@@ -145,7 +145,7 @@ def _cmd_evaluate(args) -> int:
                   file=sys.stderr)
     runner = ParallelExperimentRunner(
         profile=args.profile, seed=args.seed, jobs=args.jobs, session=session,
-        suite=suite,
+        suite=suite, backend=args.backend,
     )
 
     def progress(sr):
@@ -182,7 +182,8 @@ def _cmd_table(args) -> int:
     if args.number in (6, 7):
         direction = OMP2CUDA if args.number == 6 else CUDA2OMP
         runner = ParallelExperimentRunner(
-            profile=args.profile, seed=args.seed, jobs=args.jobs
+            profile=args.profile, seed=args.seed, jobs=args.jobs,
+            backend=args.backend,
         )
         results = runner.run(directions=[direction])
         print(render_translation_tables(results)[direction])
@@ -213,7 +214,7 @@ def _cmd_campaign_run(args) -> int:
         if args.suite:
             spec = dataclasses.replace(spec, suite=args.suite)
         runner = CampaignRunner(
-            spec, root=args.dir, jobs=args.jobs,
+            spec, root=args.dir, jobs=args.jobs, backend=args.backend,
             log=lambda msg: print(f"  {msg}", file=sys.stderr),
         )
 
@@ -345,6 +346,32 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _jobs_arg(text: str):
+    """``--jobs`` spelling: a positive count, ``0``, or ``auto`` (= cores)."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a worker count or 'auto', got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_worker_args(p: argparse.ArgumentParser, what: str) -> None:
+    p.add_argument("--jobs", "-j", type=_jobs_arg, default=1, metavar="N",
+                   help=f"workers for {what}: a count, or 0/'auto' for one "
+                        f"per CPU core (default: 1)")
+    p.add_argument("--backend", choices=["thread", "process"],
+                   default="thread",
+                   help="worker pool kind: 'thread' (shared baselines, best "
+                        "for latency-bound runs) or 'process' (scales "
+                        "CPU-bound simulation across cores)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -387,8 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--profile", default=DEFAULT_PROFILE,
                     choices=["paper", "stochastic"])
     ev.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    ev.add_argument("--jobs", "-j", type=_positive_int, default=1, metavar="N",
-                    help="worker threads for the grid (default: 1)")
+    _add_worker_args(ev, "the grid")
     ev.add_argument("--session", metavar="PATH",
                     help="persist each result to a JSONL session artifact")
     ev.add_argument("--resume", action="store_true",
@@ -401,9 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     tb.add_argument("--profile", default=DEFAULT_PROFILE,
                     choices=["paper", "stochastic"])
     tb.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    tb.add_argument("--jobs", "-j", type=_positive_int, default=1, metavar="N",
-                    help="worker threads for the table 6/7 half-grid "
-                         "(default: 1)")
+    _add_worker_args(tb, "the table 6/7 half-grid")
     tb.set_defaults(func=_cmd_table)
 
     cg = sub.add_parser(
@@ -419,8 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     cr.add_argument("--dir", default="campaigns", metavar="DIR",
                     help="root directory for campaign artifacts "
                          "(default: campaigns)")
-    cr.add_argument("--jobs", "-j", type=_positive_int, default=1,
-                    metavar="N", help="worker threads per variant grid")
+    _add_worker_args(cr, "each variant grid")
     cr.add_argument("--suite", default=None,
                     help=f"override the spec's application suite "
                          f"({suite_help})")

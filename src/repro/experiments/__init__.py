@@ -6,7 +6,12 @@ from repro.experiments.runner import (
     ScenarioResult,
 )
 from repro.experiments.cache import ResultCache, cache_key
-from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.parallel import (
+    BACKENDS,
+    MAX_JOBS,
+    ParallelExperimentRunner,
+    resolve_jobs,
+)
 from repro.experiments.session import RunSession, SessionError
 from repro.experiments.campaign import (
     CampaignError,
@@ -32,6 +37,8 @@ from repro.experiments.stats import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "MAX_JOBS",
     "CampaignError",
     "CampaignResult",
     "CampaignRunner",
@@ -56,4 +63,5 @@ __all__ = [
     "render_table5",
     "render_translation_tables",
     "replicate_stats",
+    "resolve_jobs",
 ]

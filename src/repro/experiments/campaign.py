@@ -286,13 +286,15 @@ class CampaignRunner:
         self,
         spec: CampaignSpec,
         root: Union[str, Path] = "campaigns",
-        jobs: int = 1,
+        jobs: Union[int, str] = 1,
         executor: Optional[Executor] = None,
         log: Optional[Callable[[str], None]] = None,
+        backend: str = "thread",
     ) -> None:
         self.spec = spec
         self.directory = Path(root) / spec.name
         self.jobs = jobs
+        self.backend = backend
         self.executor = executor or Executor()
         self.baselines = BaselinePreparer(self.executor)
         self.cache = ResultCache(self.directory / "cache")
@@ -413,6 +415,7 @@ class CampaignRunner:
                 cache=self.cache,
                 baselines=self.baselines,
                 suite=self.suite,
+                backend=self.backend,
             )
             results = runner.run(
                 models=self.spec.models,

@@ -3,44 +3,114 @@
 The 80-scenario evaluation is embarrassingly parallel: every (model,
 direction, app) cell is an independent pipeline run that shares only the
 read-only app sources and the baseline cache.  :class:`ParallelExperimentRunner`
-shards the grid across a :class:`concurrent.futures.ThreadPoolExecutor`
-while keeping three guarantees the serial runner provides for free:
+shards the grid across a worker pool while keeping three guarantees the
+serial runner provides for free:
 
 * **deterministic ordering** — results come back in scenario-enumeration
   order regardless of which worker finished first, so table renderers and
   downstream statistics see the exact same sequence as ``ExperimentRunner``;
-* **single baseline build per app** — all workers share one
+* **single baseline build per app** — thread workers share one
   :class:`~repro.pipeline.BaselinePreparer`, whose per-key locks make
-  concurrent first requests for the same baseline compile it exactly once;
+  concurrent first requests for the same baseline compile it exactly once
+  (process workers each hold their own preparer + compile cache);
 * **identical per-scenario behaviour** — each scenario constructs its own
   seeded :class:`SimulatedLLM` and pipeline, so statuses and metrics do not
-  depend on ``jobs`` (the determinism tests pin this).
+  depend on ``jobs`` or ``backend`` (the determinism tests pin this).
 
-Pair it with a :class:`~repro.experiments.session.RunSession` to persist
-every result as it completes and to resume an interrupted grid.
+Two backends are available:
+
+* ``backend="thread"`` (default) — a :class:`ThreadPoolExecutor`.  Right
+  for latency-bound work (real LLM round-trips) and zero-copy sharing of
+  baselines, but the pure-Python pipeline compute is GIL-serialized.
+* ``backend="process"`` — a :class:`ProcessPoolExecutor`.  Each worker
+  process rebuilds runner state from a picklable spec (``PipelineConfig``,
+  profile, seed, suite, and the concrete runner class) and ships
+  :meth:`ScenarioResult.to_dict` payloads back; the parent deserializes
+  them and feeds the same session/cache/progress plumbing.  This is what
+  lets grid throughput scale with cores for CPU-bound simulated runs.
+
+Pair either backend with a :class:`~repro.experiments.session.RunSession`
+to persist every result as it completes and to resume an interrupted grid.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor, as_completed
-from typing import Iterable, List, Optional, Union
+import os
+from concurrent.futures import (
+    Executor as _FuturesExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.experiments.cache import ResultCache
-from repro.experiments.runner import ExperimentRunner, ScenarioResult
+from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
 from repro.experiments.session import RunSession
 from repro.hecbench import Suite
 from repro.pipeline import BaselinePreparer, PipelineConfig
 from repro.toolchain import Executor
 
-#: Upper bound on worker threads; the grid is only 80 cells wide.
-MAX_JOBS = 64
+#: Upper bound on pool workers, derived from the machine: thread workers
+#: are latency-bound (LLM round-trips) so modest oversubscription helps,
+#: while anything past a few times the core count only adds scheduler noise.
+MAX_JOBS = max(8, 4 * (os.cpu_count() or 1))
+
+#: Recognized execution backends.
+BACKENDS = ("thread", "process")
+
+
+def resolve_jobs(jobs: Union[int, str]) -> int:
+    """Normalize a jobs spelling: ``"auto"`` / ``0`` mean one per core.
+
+    Returns a positive int; raises :class:`ValueError` for anything else
+    (negative counts, unknown strings).
+    """
+    if isinstance(jobs, bool):
+        # bool is an int subclass: False would otherwise match `jobs == 0`.
+        raise ValueError(f"jobs must be a positive int, 0 or 'auto', got {jobs!r}")
+    if jobs == "auto" or jobs == 0:
+        return os.cpu_count() or 1
+    if not isinstance(jobs, int):
+        raise ValueError(f"jobs must be a positive int, 0 or 'auto', got {jobs!r}")
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 means auto), got {jobs}")
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Process-backend worker plumbing.  The worker rebuilds an ExperimentRunner
+# once per process (initializer) and then serves scenario dicts; results
+# travel back as plain dicts so nothing non-picklable crosses the pipe.
+
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
+
+
+def _init_process_worker(
+    runner_class: type,
+    config: PipelineConfig,
+    profile: str,
+    seed: int,
+    suite: Suite,
+) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner_class(
+        config=config, profile=profile, seed=seed, suite=suite
+    )
+
+
+def _run_scenario_in_worker(scenario_dict: Dict[str, str]) -> dict:
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    result = _WORKER_RUNNER.run_scenario(Scenario.from_dict(scenario_dict))
+    return result.to_dict()
 
 
 class ParallelExperimentRunner(ExperimentRunner):
     """Runs the evaluation grid on a worker pool, optionally session-backed.
 
     ``jobs=1`` degenerates to serial execution (still through the pool, so
-    the code path is identical).  A ``session`` — or one passed to
+    the code path is identical); ``jobs=0`` or ``jobs="auto"`` resolve to
+    the machine's core count.  A ``session`` — or one passed to
     :meth:`run` — receives every :class:`ScenarioResult` as it completes;
     scenarios already recorded in a resumed session are *not* re-executed,
     their stored results are spliced into the output at the right position.
@@ -52,19 +122,23 @@ class ParallelExperimentRunner(ExperimentRunner):
         profile: str = "paper",
         seed: int = 2024,
         executor: Optional[Executor] = None,
-        jobs: int = 1,
+        jobs: Union[int, str] = 1,
         session: Optional[RunSession] = None,
         cache: Optional[ResultCache] = None,
         baselines: Optional[BaselinePreparer] = None,
         suite: Union[str, Suite, None] = None,
+        backend: str = "thread",
     ) -> None:
         super().__init__(
             config=config, profile=profile, seed=seed, executor=executor,
             baselines=baselines, suite=suite,
         )
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
-        self.jobs = min(jobs, MAX_JOBS)
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.jobs = min(resolve_jobs(jobs), MAX_JOBS)
+        self.backend = backend
         self.session = session
         self.cache = cache
 
@@ -103,29 +177,93 @@ class ParallelExperimentRunner(ExperimentRunner):
             pending.append(i)
 
         if pending:
-            with ThreadPoolExecutor(
-                max_workers=min(self.jobs, len(pending)),
-                thread_name_prefix="repro-grid",
-            ) as pool:
-                futures = {
-                    pool.submit(self.run_scenario, scenarios[i]): i for i in pending
-                }
-                try:
-                    for future in as_completed(futures):
-                        i = futures[future]
-                        res = future.result()  # worker exceptions surface here
-                        results[i] = res
-                        if self.cache is not None:
-                            self.cache.put(res, self.profile, self.seed, fingerprint)
-                        if session is not None:
-                            session.record(res)
-                        if progress is not None:
-                            progress(res)
-                except BaseException:
-                    # Don't let queued scenarios burn a full grid's wall-clock
-                    # during shutdown; in-flight ones finish and are lost.
-                    for f in futures:
-                        f.cancel()
-                    raise
+            if self.backend == "process":
+                self._run_pool(
+                    self._process_pool(len(pending)),
+                    scenarios, pending, results,
+                    session, progress, fingerprint,
+                )
+            else:
+                self._run_pool(
+                    ThreadPoolExecutor(
+                        max_workers=min(self.jobs, len(pending)),
+                        thread_name_prefix="repro-grid",
+                    ),
+                    scenarios, pending, results,
+                    session, progress, fingerprint,
+                )
 
         return list(results)
+
+    # ------------------------------------------------------------------
+    def _process_pool(self, pending_count: int) -> ProcessPoolExecutor:
+        """A worker-process pool whose initializer rebuilds this runner.
+
+        ``type(self)`` rides along so subclasses that override
+        :meth:`run_scenario` (e.g. latency-model benchmark runners) keep
+        their behaviour inside the workers — the class must therefore be
+        importable/picklable (defined at module top level).
+        """
+        return ProcessPoolExecutor(
+            max_workers=min(self.jobs, pending_count),
+            initializer=_init_process_worker,
+            initargs=(type(self), self.config, self.profile, self.seed, self.suite),
+        )
+
+    def _run_pool(
+        self,
+        pool: _FuturesExecutor,
+        scenarios: List[Scenario],
+        pending: List[int],
+        results: List[Optional[ScenarioResult]],
+        session: Optional[RunSession],
+        progress: Optional[callable],
+        fingerprint: str,
+    ) -> None:
+        """Execute ``pending`` on ``pool``, streaming results as they land.
+
+        Both backends share this loop: the thread backend submits
+        :meth:`run_scenario` directly, the process backend submits the
+        module-level worker shim and rehydrates the returned dict.  Either
+        way every completed scenario is cached, recorded to the session and
+        reported to ``progress`` immediately, and ``results`` is filled by
+        original index so the final ordering is deterministic.
+        """
+        in_process = isinstance(pool, ProcessPoolExecutor)
+        with pool:
+            if in_process:
+                futures = {
+                    pool.submit(
+                        _run_scenario_in_worker, scenarios[i].to_dict()
+                    ): i
+                    for i in pending
+                }
+            else:
+                futures = {
+                    pool.submit(self.run_scenario, scenarios[i]): i
+                    for i in pending
+                }
+            try:
+                for future in as_completed(futures):
+                    i = futures[future]
+                    res = future.result()  # worker exceptions surface here
+                    if in_process:
+                        res = ScenarioResult.from_dict(res)
+                        # The pipeline ran in the worker, so the worker's
+                        # counter incremented, not ours; keep campaign
+                        # accounting (executed vs replayed) correct here.
+                        with self._counter_lock:
+                            self.pipeline_runs += 1
+                    results[i] = res
+                    if self.cache is not None:
+                        self.cache.put(res, self.profile, self.seed, fingerprint)
+                    if session is not None:
+                        session.record(res)
+                    if progress is not None:
+                        progress(res)
+            except BaseException:
+                # Don't let queued scenarios burn a full grid's wall-clock
+                # during shutdown; in-flight ones finish and are lost.
+                for f in futures:
+                    f.cancel()
+                raise

@@ -44,6 +44,13 @@ def _contains_barrier(stmt: ast.Stmt) -> bool:
     return any(isinstance(s, ast.SyncThreads) for s in ast.walk_stmts(stmt))
 
 
+def _contains_atomics(stmt: ast.Stmt) -> bool:
+    return any(
+        isinstance(e, ast.Call) and e.callee.startswith("atomic")
+        for e in ast.walk_exprs(stmt)
+    )
+
+
 def collect_local_types(fn: ast.FuncDef) -> Dict[str, ty.Type]:
     """Static name -> type map for a function (params + all declarations).
 
@@ -75,6 +82,9 @@ class FunctionCompiler:
         self.types = collect_local_types(fn)
         self.is_device = fn.qualifier in ("__global__", "__device__")
         self.barrier_mode = fn.is_kernel and _contains_barrier(fn.body)
+        #: Kernels free of both barriers and atomics qualify for the
+        #: executor's flattened single-pass launch schedule.
+        self.has_atomics = fn.is_kernel and _contains_atomics(fn.body)
         self.shared_decls: List[ast.VarDecl] = [
             s for s in ast.walk_stmts(fn.body)
             if isinstance(s, ast.VarDecl) and s.shared

@@ -93,6 +93,9 @@ class ProgramRunner:
             self._global_decls.append(decl)
         self._compiled: Dict[str, Callable] = {}
         self._compilers: Dict[str, FunctionCompiler] = {}
+        # (grid, block) -> flat thread-geometry schedule, reused across the
+        # many same-shape launches an app performs (see _run_flat_kernel).
+        self._geom_cache: Dict[Tuple[int, int], List[Tuple[int, int, int, int]]] = {}
 
     # ------------------------------------------------------------------
     # Compilation
@@ -498,6 +501,8 @@ class ProgramRunner:
         try:
             if fc.barrier_mode:
                 self._run_barrier_kernel(fc, body, base_env, grid, block)
+            elif not fc.has_atomics:
+                self._run_flat_kernel(body, base_env, grid, block)
             else:
                 for bid in range(grid):
                     for tid in range(block):
@@ -520,26 +525,81 @@ class ProgramRunner:
             )
         )
 
+    #: Largest grid*block for which the flat schedule is materialized and
+    #: memoized; bigger launches fall back to the nested loops (a cached
+    #: million-tuple schedule would cost more memory than it saves time).
+    _GEOM_CACHE_MAX_THREADS = 65536
+
+    def _run_flat_kernel(
+        self, body: Callable, base_env: Dict, grid: int, block: int
+    ) -> None:
+        """Single-pass schedule for barrier-free, atomics-free kernels.
+
+        Semantically identical to the nested block/thread loops — threads
+        still execute serially in (block, thread) order — but the per-thread
+        harness work is hoisted out of the loop: the whole launch's step
+        budget is charged once up front, the per-thread environment copy is
+        a single bound ``dict.copy`` call, and the geometry tuples are
+        materialized once per (grid, block) shape and reused across the
+        app's repeated same-shape launches.
+        """
+        ctx = self.ctx
+        total = grid * block
+        ctx.steps_left -= total
+        if ctx.steps_left < 0:
+            # Terminal state must match the nested path, which bottoms out
+            # at steps_left == -1 (one over-decrement, then fault): clamp so
+            # steps_used never reports beyond max_steps + 1.
+            ctx.steps_left = -1
+            ctx.consume_steps(0)
+        make_env = base_env.copy
+        if total <= self._GEOM_CACHE_MAX_THREADS:
+            geoms = self._geom_cache.get((grid, block))
+            if geoms is None:
+                geoms = [
+                    (tid, bid, block, grid)
+                    for bid in range(grid)
+                    for tid in range(block)
+                ]
+                self._geom_cache[(grid, block)] = geoms
+            for geom in geoms:
+                ctx.geom = geom
+                body(make_env())
+        else:
+            for bid in range(grid):
+                for tid in range(block):
+                    ctx.geom = (tid, bid, block, grid)
+                    body(make_env())
+
     def _run_barrier_kernel(
         self, fc: FunctionCompiler, body: Callable, base_env: Dict,
         grid: int, block: int,
     ) -> None:
         """Interleave a block's threads at __syncthreads granularity."""
         ctx = self.ctx
+        shared_sizes = [
+            (
+                decl,
+                fc.compile_expr(decl.array_size)
+                if decl.array_size is not None else None,
+            )
+            for decl in fc.shared_decls
+        ]
         for bid in range(grid):
             shared_env: Dict[str, object] = {}
-            for decl in fc.shared_decls:
-                size_c = fc.compile_expr(decl.array_size) if decl.array_size is not None else None
+            for decl, size_c in shared_sizes:
                 n = int(size_c({})) if size_c is not None else 1
                 shared_env[decl.name] = self.stack_alloc(
                     n, decl.type, "device", label=decl.name
                 )
+            # Hoist the merged per-thread environment template out of the
+            # thread loop; each thread then needs only one dict copy.
+            merged_env = {**base_env, **shared_env}
+            make_env = merged_env.copy
             threads: List[Tuple[int, object]] = []
             for tid in range(block):
-                env = dict(base_env)
-                env.update(shared_env)
                 ctx.geom = (tid, bid, block, grid)
-                threads.append((tid, body(env)))
+                threads.append((tid, body(make_env())))
             live = list(threads)
             while live:
                 next_live = []

@@ -319,8 +319,7 @@ class CodeGenerator:
             prec = _PREC[e.op]
             left = self.expr(e.left, prec)
             right = self.expr(e.right, prec + 1)
-            op = e.op if e.op in ("*", "/", "%") and not self.style.space_around_ops else e.op
-            return f"{left}{self.style.op(op)}{right}".replace("  ", " "), prec
+            return f"{left}{self.style.op(e.op)}{right}", prec
         if isinstance(e, ast.Assign):
             target = self.expr(e.target, 1)
             value = self.expr(e.value, 0)

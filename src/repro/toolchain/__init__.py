@@ -9,8 +9,11 @@ model — the numbers the paper's Tables IV, VI and VII are built from.
 """
 
 from repro.toolchain.compiler import (
+    CompileCache,
     CompileResult,
     CompilerDriver,
+    clear_compile_cache,
+    compile_cache_stats,
     compiler_for,
     CUDA_COMPILER,
     OMP_COMPILER,
@@ -18,8 +21,11 @@ from repro.toolchain.compiler import (
 from repro.toolchain.executor import ExecutionResult, Executor
 
 __all__ = [
+    "CompileCache",
     "CompileResult",
     "CompilerDriver",
+    "clear_compile_cache",
+    "compile_cache_stats",
     "compiler_for",
     "CUDA_COMPILER",
     "OMP_COMPILER",

@@ -412,3 +412,30 @@ class TestLoadAndReport:
         CampaignRunner(spec, root=tmp_path)._write_manifest([], spec.cells())
         text = render_campaign_report(load_campaign(tmp_path / "mini"))
         assert "no recorded scenarios yet" in text
+
+
+class TestCampaignBackends:
+    def test_process_backend_campaign_matches_thread(self, tmp_path):
+        spec = _spec()
+        thread_run = CampaignRunner(
+            spec, root=tmp_path / "thread", jobs=2
+        ).run()
+        process_run = CampaignRunner(
+            spec, root=tmp_path / "process", jobs=2, backend="process"
+        ).run()
+        assert [
+            [r.to_dict() for r in cell.results] for cell in process_run.runs
+        ] == [
+            [r.to_dict() for r in cell.results] for cell in thread_run.runs
+        ]
+
+    def test_process_backend_rerun_replays_from_artifacts(self, tmp_path):
+        spec = _spec()
+        first = CampaignRunner(
+            spec, root=tmp_path, jobs=2, backend="process"
+        ).run()
+        assert first.total_pipeline_runs == 4
+        rerun = CampaignRunner(
+            spec, root=tmp_path, jobs=2, backend="process"
+        ).run()
+        assert rerun.total_pipeline_runs == 0

@@ -70,7 +70,16 @@ class TestDeterminism:
 
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError):
-            ParallelExperimentRunner(jobs=0)
+            ParallelExperimentRunner(jobs=-1)
+        with pytest.raises(ValueError):
+            ParallelExperimentRunner(jobs="many")
+
+    def test_auto_jobs_resolve_to_cpu_count(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert ParallelExperimentRunner(jobs="auto").jobs == cores
+        assert ParallelExperimentRunner(jobs=0).jobs == cores
 
     def test_worker_failure_cancels_queued_scenarios(self):
         executed = []

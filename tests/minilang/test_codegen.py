@@ -109,3 +109,25 @@ class TestExpressions:
         out = roundtrip(f"int main() {{ int x = {v}; return 0; }}")
         # negative literals render as unary minus on the magnitude
         assert str(abs(v)) in out
+
+
+class TestLiteralFidelity:
+    def test_double_spaces_in_string_literals_survive(self):
+        # Regression: a whole-expression `.replace("  ", " ")` post-pass used
+        # to collapse runs of spaces *inside* emitted string literals.
+        src = 'int main() { printf("a  b    c" ); return 0; }'
+        out = roundtrip(src)
+        assert '"a  b    c"' in out
+
+    def test_string_literal_in_binary_expression(self):
+        src = 'int main() { int n = printf("x  y") + 1; return 0; }'
+        out = roundtrip(src)
+        assert '"x  y"' in out
+        assert 'printf("x  y") + 1' in out
+
+    def test_compact_style_binary_spacing(self):
+        out = roundtrip(
+            "int f(int a, int b) { return a * b + a / b; }",
+            style=CodegenStyle(space_around_ops=False),
+        )
+        assert "a*b+a/b" in out

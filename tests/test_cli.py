@@ -97,6 +97,27 @@ class TestEvaluateParallel:
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
 
+    def test_evaluate_process_backend_matches_serial_output(self, capsys):
+        argv = ["evaluate", "--models", "wizardcoder", "--apps", "entropy",
+                "--direction", "cuda2omp"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2", "--backend", "process"]) == 0
+        process_out = capsys.readouterr().out
+        assert process_out == serial_out
+
+    def test_evaluate_jobs_auto_accepted(self, capsys):
+        argv = ["evaluate", "--models", "wizardcoder", "--apps", "entropy",
+                "--direction", "cuda2omp", "--jobs", "auto"]
+        assert main(argv) == 0
+        assert "CUDA -> OpenMP" in capsys.readouterr().out
+
+    def test_evaluate_bad_jobs_spelling_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["evaluate", "--jobs", "several"])
+        assert exc.value.code == 2
+        assert "'several'" in capsys.readouterr().err
+
     def test_evaluate_session_and_resume(self, capsys, tmp_path):
         session = str(tmp_path / "run.jsonl")
         argv = ["evaluate", "--models", "gpt4", "--apps", "layout", "entropy",

@@ -1,0 +1,90 @@
+"""The content-addressed front-end memo in front of CompilerDriver.compile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minilang.source import Dialect
+from repro.toolchain import (
+    CUDA_COMPILER,
+    OMP_COMPILER,
+    CompileCache,
+    clear_compile_cache,
+    compile_cache_stats,
+    compiler_for,
+)
+
+OK_SRC = "int main() { return 0; }\n"
+BAD_SRC = "int main() { return undeclared_name; }\n"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestMemoization:
+    def test_second_compile_is_a_hit(self):
+        first = CUDA_COMPILER.compile(OK_SRC)
+        second = CUDA_COMPILER.compile(OK_SRC)
+        stats = compile_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        # The memo hands back the very same front-end result.
+        assert second is first
+        assert second.ok and second.program is first.program
+
+    def test_distinct_sources_miss(self):
+        CUDA_COMPILER.compile(OK_SRC)
+        CUDA_COMPILER.compile(OK_SRC + "\n// changed\n")
+        assert compile_cache_stats()["misses"] == 2
+
+    def test_dialect_is_part_of_the_identity(self):
+        a = CUDA_COMPILER.compile(OK_SRC)
+        b = OMP_COMPILER.compile(OK_SRC)
+        stats = compile_cache_stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+        assert a.command != b.command
+
+    def test_filename_is_part_of_the_identity(self):
+        a = CUDA_COMPILER.compile(OK_SRC, filename="one.cu")
+        b = CUDA_COMPILER.compile(OK_SRC, filename="two.cu")
+        assert compile_cache_stats()["misses"] == 2
+        assert a.command != b.command
+
+    def test_failures_are_cached_with_identical_stderr(self):
+        first = compiler_for(Dialect.CUDA).compile(BAD_SRC)
+        second = compiler_for(Dialect.CUDA).compile(BAD_SRC)
+        assert not first.ok
+        assert second.stderr == first.stderr
+        assert compile_cache_stats()["hits"] == 1
+
+    def test_clear_resets_counters_and_entries(self):
+        CUDA_COMPILER.compile(OK_SRC)
+        clear_compile_cache()
+        stats = compile_cache_stats()
+        assert stats == {"entries": 0, "hits": 0, "misses": 0, "hit_rate": 0.0}
+
+
+class TestBoundedLru:
+    def test_eviction_keeps_most_recent(self):
+        cache = CompileCache(maxsize=2)
+        k1 = CompileCache.key("a", Dialect.CUDA, "f.cu")
+        k2 = CompileCache.key("b", Dialect.CUDA, "f.cu")
+        k3 = CompileCache.key("c", Dialect.CUDA, "f.cu")
+        cache.put(k1, "r1")
+        cache.put(k2, "r2")
+        assert cache.get(k1) == "r1"  # refresh k1: k2 is now LRU
+        cache.put(k3, "r3")
+        assert len(cache) == 2
+        assert cache.get(k2) is None
+        assert cache.get(k1) == "r1" and cache.get(k3) == "r3"
+
+    def test_hit_rate_math(self):
+        cache = CompileCache()
+        k = CompileCache.key("x", Dialect.OMP, "f.cpp")
+        assert cache.get(k) is None
+        cache.put(k, "r")
+        assert cache.get(k) == "r"
+        assert cache.stats()["hit_rate"] == pytest.approx(0.5)
