@@ -1,14 +1,25 @@
 #!/usr/bin/env python3
-"""Watch the self-correction loops work: a scenario planned to need three
-correction rounds (compile, compile, execute) prints its full attempt trace
-with the compiler/runtime stderr that drove each re-prompt.
+"""Watch the self-correction loops work — live, via the pipeline event bus.
+
+A scenario planned to need three correction rounds (compile, compile,
+execute) is run with a subscriber attached to the pipeline's
+:class:`~repro.pipeline.events.EventBus`; every stage entry/exit,
+recorded attempt and issued correction prints as it happens, followed by
+the recorded attempt trace and the per-stage wall-time breakdown the
+engine collected through the same bus.
 """
 
+from repro.api import build_pipeline
 from repro.hecbench import get_app
 from repro.llm.profiles import CellPlan
 from repro.llm.simulated import SimulatedLLM
 from repro.minilang.source import Dialect
-from repro.pipeline import LassiPipeline
+from repro.pipeline.events import (
+    AttemptRecorded,
+    CorrectionIssued,
+    PipelineEvent,
+    StageFinished,
+)
 
 PLAN = CellPlan(
     self_corrections=3,
@@ -16,11 +27,25 @@ PLAN = CellPlan(
 )
 
 
+def narrate(event: PipelineEvent) -> None:
+    if isinstance(event, AttemptRecorded):
+        print(f"  [attempt {event.index}] {event.kind} (in {event.stage})")
+    elif isinstance(event, CorrectionIssued):
+        first = event.stderr.splitlines()[0] if event.stderr else ""
+        print(f"  [correction #{event.corrections}] {event.kind}: {first}")
+    elif isinstance(event, StageFinished):
+        print(f"  [stage] {event.stage:16s} {event.outcome:20s} "
+              f"{event.seconds * 1e3:8.2f} ms")
+
+
 def main() -> int:
     app = get_app("pathfinder")
     llm = SimulatedLLM("wizardcoder", Dialect.OMP, Dialect.CUDA, plan=PLAN)
-    pipeline = LassiPipeline(llm, Dialect.OMP, Dialect.CUDA)
-    result = pipeline.translate(
+    pipeline = build_pipeline(llm, Dialect.OMP, Dialect.CUDA,
+                              subscribers=[narrate])
+
+    print(f"=== self-correction trace: {app.name}, {llm.name} ===\n")
+    result = pipeline.run(
         app.omp_source,
         reference_target_code=app.cuda_source,
         args=app.args,
@@ -28,13 +53,18 @@ def main() -> int:
         launch_scale=app.launch_scale,
     )
 
-    print(f"=== self-correction trace: {app.name}, {llm.name} ===\n")
+    print("\nattempt record:")
     for attempt in result.attempts:
         print(f"attempt {attempt.index} ({attempt.kind}): "
               f"compiled={attempt.compiled} executed={attempt.executed}")
         if attempt.stderr:
             first = attempt.stderr.splitlines()[0]
             print(f"   error fed back to the LLM: {first}")
+
+    print("\nwhere the time went:")
+    for stage, seconds in result.stage_seconds.items():
+        print(f"  {stage:16s} {seconds * 1e3:8.2f} ms")
+
     print(f"\nfinal status: {result.status} after "
           f"{result.self_corrections} self-corrections")
     assert result.self_corrections == 3

@@ -7,15 +7,22 @@ evaluation depends on: a MiniCUDA/MiniOMP compiler front-end and
 interpreter, a simulated NVIDIA A100 performance model, the ten HeCBench
 applications of Table IV, and simulated versions of the four Table V LLMs.
 
-Quick start::
+Quick start (the stable :mod:`repro.api` facade)::
 
+    from repro import api
+
+    result = api.translate("layout", model="gpt4", direction="omp2cuda")
+    results = api.evaluate(models=["gpt4"], jobs=4, backend="process")
+
+or at the pipeline level::
+
+    from repro.api import build_pipeline
     from repro.llm.simulated import SimulatedLLM
     from repro.minilang.source import Dialect
-    from repro.pipeline import LassiPipeline
 
     llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA)
-    pipeline = LassiPipeline(llm, Dialect.OMP, Dialect.CUDA)
-    result = pipeline.translate(omp_source, reference_target_code=cuda_ref)
+    pipeline = build_pipeline(llm, Dialect.OMP, Dialect.CUDA)
+    result = pipeline.run(omp_source, reference_target_code=cuda_ref)
 
 See README.md for the architecture map and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -24,6 +31,7 @@ paper-vs-measured record.
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "errors",
     "minilang",
     "interp",

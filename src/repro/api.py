@@ -1,0 +1,165 @@
+"""Stable, high-level facade over the LASSI reproduction.
+
+Four entry points cover the common workflows; everything the CLI does is
+expressible through them, and their signatures are the package's
+compatibility surface:
+
+* :func:`build_pipeline` — assemble the stage-graph pipeline for one
+  (LLM, direction) and run it on raw source text;
+* :func:`translate` — one-call translation of a suite application
+  (builds the seeded simulated LLM and the pipeline for you);
+* :func:`evaluate` — the §V experiment grid (or any subset), parallel,
+  resumable, cacheable;
+* :func:`run_campaign` / :func:`build_campaign` — declarative ablation
+  sweeps over the grid.
+
+Example::
+
+    from repro import api
+    from repro.pipeline.events import StageFinished
+
+    result = api.translate("layout", model="gpt4", direction="omp2cuda")
+    results = api.evaluate(models=["gpt4"], jobs=4, backend="process")
+    campaign = api.run_campaign("knowledge-ablation")
+
+Migration from the pre-stage-graph API: ``LassiPipeline(llm, src, tgt,
+config=...)`` becomes ``api.build_pipeline(llm, src, tgt, config=...)``
+(the returned pipeline's ``run`` is the old ``translate``; the shim class
+still works and now exposes the same event bus).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    get_preset,
+)
+from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
+from repro.experiments.session import RunSession
+from repro.hecbench import AppSpec, Suite, get_app
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.engine import build_pipeline
+from repro.pipeline.results import LassiResult
+from repro.toolchain import Executor
+
+__all__ = [
+    "build_campaign",
+    "build_pipeline",
+    "evaluate",
+    "run_campaign",
+    "translate",
+]
+
+#: Defaults shared with the CLI.
+DEFAULT_PROFILE = "paper"
+DEFAULT_SEED = 2024
+
+
+# build_pipeline is the engine's assembly function re-exported verbatim —
+# one signature, no facade copy to drift.  `subscribers` attach to the
+# pipeline's event bus before it runs anything, so they observe every
+# stage of every translation.
+
+
+def translate(
+    app: Union[str, AppSpec],
+    model: str = "gpt4",
+    direction: str = "omp2cuda",
+    profile: str = DEFAULT_PROFILE,
+    seed: int = DEFAULT_SEED,
+    config: Optional[PipelineConfig] = None,
+    suite: Union[str, Suite, None] = None,
+) -> LassiResult:
+    """Translate one suite application under one simulated model.
+
+    ``app`` may be a name (resolved against ``suite``, or the default
+    suite-wide lookup when ``suite`` is None — synthetic names like
+    ``synth-stencil-d1-s0`` regenerate their sources) or a resolved
+    :class:`~repro.hecbench.AppSpec`.
+    """
+    spec = app if isinstance(app, AppSpec) else get_app(app, suite=suite)
+    runner = ExperimentRunner(config=config, profile=profile, seed=seed)
+    scenario = Scenario(model_key=model, direction=direction, app_name=spec.name)
+    return runner.run_scenario(scenario, app=spec).result
+
+
+def evaluate(
+    models: Optional[Sequence[str]] = None,
+    directions: Optional[Sequence[str]] = None,
+    apps: Optional[Sequence[str]] = None,
+    profile: str = DEFAULT_PROFILE,
+    seed: int = DEFAULT_SEED,
+    config: Optional[PipelineConfig] = None,
+    suite: Union[str, Suite, None] = None,
+    jobs: Union[int, str] = 1,
+    backend: str = "thread",
+    session: Optional[RunSession] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[ScenarioResult], None]] = None,
+) -> List[ScenarioResult]:
+    """Run the evaluation grid (every argument optional, None = full axis).
+
+    A thin veneer over
+    :class:`~repro.experiments.parallel.ParallelExperimentRunner` — both
+    backends rebuild the stage-graph pipeline per scenario, sessions
+    persist/resume completed scenarios, and the cache replays identical
+    cells.
+    """
+    runner = ParallelExperimentRunner(
+        config=config,
+        profile=profile,
+        seed=seed,
+        jobs=jobs,
+        backend=backend,
+        session=session,
+        cache=cache,
+        suite=suite,
+    )
+    return runner.run(
+        models=models, directions=directions, apps=apps, progress=progress
+    )
+
+
+def build_campaign(
+    spec: Union[str, CampaignSpec],
+    root: Union[str, Path] = "campaigns",
+    jobs: Union[int, str] = 1,
+    backend: str = "thread",
+    executor: Optional[Executor] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> CampaignRunner:
+    """Prepare a campaign runner (``spec`` may be a preset name)."""
+    resolved = get_preset(spec) if isinstance(spec, str) else spec
+    return CampaignRunner(
+        resolved, root=root, jobs=jobs, backend=backend, executor=executor,
+        log=log,
+    )
+
+
+def run_campaign(
+    spec: Union[str, CampaignSpec],
+    root: Union[str, Path] = "campaigns",
+    jobs: Union[int, str] = 1,
+    backend: str = "thread",
+    executor: Optional[Executor] = None,
+    log: Optional[Callable[[str], None]] = None,
+    progress: Optional[Callable[[ScenarioResult], None]] = None,
+) -> CampaignResult:
+    """Run a declarative ablation sweep into its campaign directory.
+
+    ``spec`` may be a built-in preset name (``"knowledge-ablation"``) or a
+    :class:`~repro.experiments.campaign.CampaignSpec`.  Fully resumable:
+    re-running replays finished cells from their sessions and shared
+    cells from the cache.
+    """
+    return build_campaign(
+        spec, root=root, jobs=jobs, backend=backend, executor=executor,
+        log=log,
+    ).run(progress=progress)

@@ -1,6 +1,8 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands mirror the deliverables:
+A thin shell over the stable :mod:`repro.api` facade (translate /
+evaluate / run_campaign / build_pipeline).  Commands mirror the
+deliverables:
 
 * ``translate`` — run the LASSI pipeline on one suite app;
 * ``evaluate``  — the §V experiment grid (optionally filtered);
@@ -23,12 +25,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import api
 from repro.errors import UnknownApplicationError, UnknownSuiteError
 from repro.experiments import (
     CampaignError,
-    CampaignRunner,
-    ExperimentRunner,
-    ParallelExperimentRunner,
     RunSession,
     SessionError,
     get_preset,
@@ -42,7 +42,6 @@ from repro.experiments import (
     render_translation_tables,
 )
 from repro.experiments.campaign import MANIFEST_NAME, PRESETS
-from repro.experiments.runner import Scenario
 from repro.hecbench import DEFAULT_SUITE, get_app, resolve_suite, suite_names
 from repro.llm.profiles import CUDA2OMP, OMP2CUDA
 from repro.llm.registry import all_models, model_keys
@@ -92,13 +91,12 @@ def _cmd_translate(args) -> int:
     except (UnknownApplicationError, UnknownSuiteError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2) from None
-    # The resolved app is handed straight to run_scenario, so the runner
+    # The resolved app is handed straight to the facade, so the runner
     # never needs to resolve --suite a second time.
-    runner = ExperimentRunner(profile=args.profile, seed=args.seed)
-    scenario = Scenario(
-        model_key=args.model, direction=args.direction, app_name=app.name
+    result = api.translate(
+        app, model=args.model, direction=args.direction,
+        profile=args.profile, seed=args.seed,
     )
-    result = runner.run_scenario(scenario, app=app).result
     print(f"status: {result.status}")
     print(f"self-corrections: {result.self_corrections}")
     if result.ok:
@@ -143,21 +141,18 @@ def _cmd_evaluate(args) -> int:
             print(f"resuming session {args.session}: "
                   f"{len(session)} scenario(s) already recorded",
                   file=sys.stderr)
-    runner = ParallelExperimentRunner(
-        profile=args.profile, seed=args.seed, jobs=args.jobs, session=session,
-        suite=suite, backend=args.backend,
-    )
-
     def progress(sr):
         s = sr.scenario
         print(f"  {s.direction:9s} {s.model_key:12s} {s.app_name:16s} "
               f"-> {sr.result.status}", file=sys.stderr)
 
     try:
-        results = runner.run(
+        results = api.evaluate(
             models=args.models or None,
             apps=apps,
             directions=[args.direction] if args.direction else None,
+            profile=args.profile, seed=args.seed, jobs=args.jobs,
+            backend=args.backend, session=session, suite=suite,
             progress=progress if args.verbose else None,
         )
     except SessionError as exc:
@@ -181,11 +176,10 @@ def _cmd_table(args) -> int:
         return 0
     if args.number in (6, 7):
         direction = OMP2CUDA if args.number == 6 else CUDA2OMP
-        runner = ParallelExperimentRunner(
-            profile=args.profile, seed=args.seed, jobs=args.jobs,
-            backend=args.backend,
+        results = api.evaluate(
+            directions=[direction], profile=args.profile, seed=args.seed,
+            jobs=args.jobs, backend=args.backend,
         )
-        results = runner.run(directions=[direction])
         print(render_translation_tables(results)[direction])
         return 0
     print(f"no renderer for table {args.number}", file=sys.stderr)
@@ -213,7 +207,7 @@ def _cmd_campaign_run(args) -> int:
             return 2
         if args.suite:
             spec = dataclasses.replace(spec, suite=args.suite)
-        runner = CampaignRunner(
+        runner = api.build_campaign(
             spec, root=args.dir, jobs=args.jobs, backend=args.backend,
             log=lambda msg: print(f"  {msg}", file=sys.stderr),
         )

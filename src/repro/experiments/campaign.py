@@ -45,6 +45,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import ReproError
 from repro.experiments.cache import ResultCache
+from repro.metrics.aggregate import merge_stage_seconds
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.runner import ExperimentRunner, ScenarioResult
 from repro.experiments.session import RunSession
@@ -219,6 +220,10 @@ class CellRun:
     config_fingerprint: str
     expected_scenarios: int
     pipeline_runs: int = 0  # scenarios actually executed (not replayed)
+    #: Accumulated per-stage wall seconds over the cell's executed
+    #: pipelines (telemetry from the event bus; replayed scenarios
+    #: contribute nothing).  Persisted in the manifest, not the sessions.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -312,7 +317,18 @@ class CampaignRunner:
                 f"campaign {spec.name!r} has an unusable suite "
                 f"{spec.suite!r}: {exc}"
             ) from exc
-        self._check_existing_manifest()
+        manifest = self._check_existing_manifest()
+        #: Per-cell stage timings recorded by earlier runs of this
+        #: directory.  Scenarios replayed from sessions/cache execute no
+        #: pipeline and collect no telemetry, so the rewritten manifest
+        #: merges the previously measured attribution with whatever the
+        #: resumed run adds instead of blanking or undercounting it.
+        self._prior_stage_seconds: Dict[Any, Dict[str, float]] = {}
+        if isinstance(manifest, dict):
+            for entry in manifest.get("cells", []):
+                if isinstance(entry, dict) and entry.get("stage_seconds"):
+                    key = (entry.get("variant"), entry.get("seed"))
+                    self._prior_stage_seconds[key] = dict(entry["stage_seconds"])
         #: Scenarios per cell, known before any cell runs — the manifest
         #: records it so loaders can tell truncated cells from finished
         #: ones.  Enumerating also validates spec.apps against the suite,
@@ -330,8 +346,11 @@ class CampaignRunner:
             ) from exc
 
     # ------------------------------------------------------------------
-    def _check_existing_manifest(self) -> None:
+    def _check_existing_manifest(self) -> Optional[dict]:
         """Refuse to resume a directory recorded under a different grid.
+
+        Returns the parsed manifest (or None when absent/unreadable) so
+        the caller can reuse the single parse.
 
         The directory is keyed by campaign name and its per-cell sessions
         validate profile/seed/config — but not the grid subset.  Re-running
@@ -361,7 +380,7 @@ class CampaignRunner:
                     f"manifest; cannot verify they belong to this grid — "
                     f"delete the directory (or its sessions/) to start over"
                 )
-            return
+            return manifest
         recorded_raw = {
             "suite": recorded_spec.get("suite", "table4"),
             "models": recorded_spec.get("models"),
@@ -392,6 +411,7 @@ class CampaignRunner:
                 f"experiments — use a new campaign name or --dir, or delete "
                 f"the directory to start over"
             )
+        return manifest
 
     # ------------------------------------------------------------------
     def run(self, progress: Optional[Callable] = None) -> CampaignResult:
@@ -423,6 +443,21 @@ class CampaignRunner:
                 apps=self.spec.apps,
                 progress=progress,
             )
+            # This run's telemetry (replayed scenarios contribute nothing),
+            # merged with what earlier runs of this directory measured for
+            # the scenarios now being replayed.  Limitation: the manifest
+            # records a cell only once it completes, so a cell interrupted
+            # mid-grid resumes with no prior entry and its attribution
+            # covers just the scenarios executed after the restart.
+            prior = self._prior_stage_seconds.get(
+                (cell.variant.name, cell.seed), {}
+            )
+            stage_seconds = {
+                stage: stats.total_seconds
+                for stage, stats in merge_stage_seconds(
+                    [prior] + [sr.result.stage_seconds for sr in results]
+                ).items()
+            }
             runs.append(CellRun(
                 variant=cell.variant,
                 seed=cell.seed,
@@ -430,6 +465,7 @@ class CampaignRunner:
                 config_fingerprint=config.fingerprint(),
                 expected_scenarios=self._grid_size,
                 pipeline_runs=runner.pipeline_runs,
+                stage_seconds=stage_seconds,
             ))
             self._log(
                 f"variant {cell.variant.name} seed {cell.seed}: "
@@ -462,6 +498,13 @@ class CampaignRunner:
                 "completed": run is not None,
                 "scenarios": len(run.results) if run is not None else None,
                 "pipeline_runs": run.pipeline_runs if run is not None else None,
+                # Where the cell's wall-clock went, stage by stage — lets a
+                # campaign attribute latency to generation vs. correction
+                # vs. toolchain without re-running anything.
+                "stage_seconds": (
+                    {k: round(v, 6) for k, v in run.stage_seconds.items()}
+                    if run is not None else None
+                ),
             })
         manifest = {
             "type": "campaign-manifest",
@@ -531,6 +574,7 @@ def load_campaign(directory: Union[str, Path]) -> CampaignResult:
             config_fingerprint=entry.get("config_fingerprint", ""),
             expected_scenarios=expected,
             pipeline_runs=entry.get("pipeline_runs") or 0,
+            stage_seconds=dict(entry.get("stage_seconds") or {}),
         ))
     return CampaignResult(spec=spec, directory=directory, runs=runs)
 

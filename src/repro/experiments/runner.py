@@ -20,7 +20,7 @@ from repro.llm.registry import all_models
 from repro.llm.simulated import SimulatedLLM
 from repro.metrics.aggregate import ScenarioMetrics
 from repro.minilang.source import Dialect
-from repro.pipeline import BaselinePreparer, LassiPipeline, PipelineConfig
+from repro.pipeline import BaselinePreparer, PipelineConfig, build_pipeline
 from repro.pipeline.results import LassiResult
 from repro.toolchain import Executor
 from repro.utils.rng import derive_seed
@@ -67,10 +67,13 @@ class ScenarioResult:
     def metrics(self) -> ScenarioMetrics:
         return self.result.metrics()
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, include_timings: bool = False) -> Dict[str, Any]:
+        """Serialize; ``include_timings`` carries per-stage wall times
+        (telemetry) — off by default so sessions/caches stay deterministic.
+        """
         return {
             "scenario": self.scenario.to_dict(),
-            "result": self.result.to_dict(),
+            "result": self.result.to_dict(include_timings=include_timings),
         }
 
     @classmethod
@@ -165,7 +168,9 @@ class ExperimentRunner:
             plan=plan,
             seed=llm_seed,
         )
-        pipeline = LassiPipeline(
+        # Each scenario assembles its own stage graph (cheap: the stages
+        # are thin objects over the shared executor/baseline services).
+        pipeline = build_pipeline(
             llm,
             source_dialect,
             target_dialect,
@@ -173,7 +178,7 @@ class ExperimentRunner:
             executor=self.executor,
             baseline_preparer=self.baselines,
         )
-        result = pipeline.translate(
+        result = pipeline.run(
             app.source(source_dialect),
             reference_target_code=app.source(target_dialect),
             args=app.args,

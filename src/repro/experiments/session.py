@@ -159,7 +159,14 @@ class RunSession:
 
     # ------------------------------------------------------------------
     def record(self, result: ScenarioResult) -> None:
-        """Persist one completed scenario (thread-safe, flushed on return)."""
+        """Persist one completed scenario (thread-safe, flushed on return).
+
+        Serialized without per-stage wall-time telemetry: session files
+        are deterministic functions of the grid identity (the backend
+        byte-identity tests pin this), and wall-clock noise would break
+        that.  Timing telemetry lives on the in-memory results and in
+        campaign manifests instead.
+        """
         payload = result.to_dict()
         payload["type"] = "scenario"
         self._append(payload)

@@ -1,0 +1,107 @@
+"""Typed pipeline events and the subscriber bus.
+
+Every :class:`~repro.pipeline.engine.StagePipeline` owns an
+:class:`EventBus`.  The engine publishes :class:`StageStarted` /
+:class:`StageFinished` (with wall-clock seconds) around every stage
+execution, and the self-correction stages publish
+:class:`CorrectionIssued` / :class:`AttemptRecorded` from inside their
+loops.  Subscribers are plain callables — telemetry, progress displays and
+the engine's own per-stage timing collector all attach the same way::
+
+    pipeline = build_pipeline(llm, src, tgt)
+    pipeline.events.subscribe(lambda e: print(e))
+    pipeline.run(source_code)
+
+Subscriber exceptions propagate: a broken subscriber is library misuse,
+not a pipeline outcome, and silently swallowing it would hide the bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+class PipelineEvent:
+    """Base class for everything published on the :class:`EventBus`."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class StageStarted(PipelineEvent):
+    """A stage is about to run (re-entered stages fire this every entry)."""
+
+    stage: str
+
+
+@dataclass(frozen=True)
+class StageFinished(PipelineEvent):
+    """A stage returned (or raised).
+
+    ``seconds`` is the wall-clock time of this entry; ``outcome`` is
+    ``"proceed"``, ``"halt"``, ``"jump:<target>"`` or ``"error"`` (the
+    stage raised — the exception propagates after this event).
+    """
+
+    stage: str
+    seconds: float
+    outcome: str
+
+
+@dataclass(frozen=True)
+class CorrectionIssued(PipelineEvent):
+    """A Table III re-prompt was sent to the LLM.
+
+    ``kind`` is ``"compile"`` or ``"execute"``; ``corrections`` counts the
+    re-prompts issued so far in this run, including this one; ``stderr``
+    is the toolchain output that triggered the re-prompt.
+    """
+
+    stage: str
+    kind: str
+    corrections: int
+    stderr: str
+
+
+@dataclass(frozen=True)
+class AttemptRecorded(PipelineEvent):
+    """A generation attempt entered the self-correction loop."""
+
+    stage: str
+    index: int
+    kind: str
+
+
+Subscriber = Callable[[PipelineEvent], None]
+
+
+class EventBus:
+    """Synchronous fan-out of :class:`PipelineEvent`\\ s to subscribers.
+
+    Not thread-safe by design: one pipeline instance serves one
+    translation at a time (the grid runners build a fresh pipeline per
+    scenario), so events for a run are published from a single thread.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+
+    def subscribe(self, callback: Subscriber) -> Callable[[], None]:
+        """Attach ``callback``; returns a zero-argument unsubscribe."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass  # already unsubscribed
+
+        return unsubscribe
+
+    def publish(self, event: PipelineEvent) -> None:
+        for callback in list(self._subscribers):
+            callback(event)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)

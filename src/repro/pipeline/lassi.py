@@ -1,6 +1,14 @@
-"""The LASSI orchestrator: generation + self-correcting loops (§III-C/D).
+"""The LASSI orchestrator, as a thin shim over the stage-graph engine.
 
-Loop structure follows the paper exactly:
+Historically this module held a 170-line monolithic ``translate`` method;
+the pipeline is now an explicit stage graph (see
+:mod:`repro.pipeline.engine` and :mod:`repro.pipeline.stages`), and
+:class:`LassiPipeline` remains as the backward-compatible construction
+API: same signature, same attributes, byte-identical
+:class:`~repro.pipeline.results.LassiResult`\\ s.  New code should prefer
+:func:`repro.api.build_pipeline` / :func:`repro.pipeline.build_pipeline`.
+
+Loop structure follows the paper exactly (now encoded as graph edges):
 
 * generate, extract the fenced code block, save it;
 * **compile loop** — while the compiler returns errors, re-prompt with the
@@ -8,8 +16,8 @@ Loop structure follows the paper exactly:
   again;
 * **execute loop** — once compiling, run it; on a runtime error re-prompt
   with the code + runtime stderr (Table III "Execution error").  If the
-  repaired code stops compiling, control naturally falls back into the
-  compile loop (§III-D2: "If a compile error occurs again, then the
+  repaired code stops compiling, control falls back into the compile loop
+  via the jump edge (§III-D2: "If a compile error occurs again, then the
   pipeline remains in the compilation self-correction loop");
 * iterate until clean or ``max_corrections`` re-prompts have been spent;
 * finally compare stdout against the reference baseline (automated
@@ -18,56 +26,28 @@ Loop structure follows the paper exactly:
 
 from __future__ import annotations
 
-import hashlib
-import json
-from dataclasses import asdict, dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.errors import ContextWindowExceeded
-from repro.llm.base import ChatMessage, LLMClient
-from repro.metrics.runtime import runtime_ratio
-from repro.metrics.similarity import sim_l, sim_t
+from repro.llm.base import LLMClient
 from repro.minilang.source import Dialect
-from repro.pipeline.baseline import Baseline, BaselinePreparer
-from repro.pipeline.results import Attempt, LassiResult
-from repro.pipeline.verification import verify_output
-from repro.prompts.builder import PromptBuilder
-from repro.toolchain import Executor, compiler_for
-from repro.utils.text import extract_code_block
+from repro.pipeline.baseline import BaselinePreparer
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.engine import PipelineBuilder, StagePipeline
+from repro.pipeline.events import EventBus
+from repro.pipeline.results import LassiResult
+from repro.toolchain import Executor
 
-
-@dataclass(frozen=True)
-class PipelineConfig:
-    """Tunable pipeline behaviour (ablation switches included)."""
-
-    #: Cap on self-correction re-prompts (the paper observed up to 34).
-    max_corrections: int = 40
-    #: Include the language-knowledge document + self-prompt summary
-    #: (§III-B).  Ablating this models direct prompting a la Nichols et al.
-    include_knowledge: bool = True
-    #: Run the automated output comparison (§VI future work, implemented).
-    verify_output: bool = True
-    #: Self-correction enabled at all (ablation: max_corrections=0 happens
-    #: through this switch so the loop structure is untouched).
-    self_correction: bool = True
-
-    @property
-    def effective_max_corrections(self) -> int:
-        return self.max_corrections if self.self_correction else 0
-
-    def fingerprint(self) -> str:
-        """Content hash of the configuration (the cache/session identity).
-
-        Two configs with equal field values — however they were built —
-        share a fingerprint, so e.g. an explicit ``max_corrections=40``
-        variant hits the same cache entries as the defaults.
-        """
-        payload = json.dumps(asdict(self), sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+__all__ = ["LassiPipeline", "PipelineConfig"]
 
 
 class LassiPipeline:
-    """One configured LASSI instance (LLM-agnostic by construction)."""
+    """One configured LASSI instance (LLM-agnostic by construction).
+
+    Backward-compatible shim: construction and :meth:`translate` behave
+    exactly as the pre-stage-graph pipeline did, while delegating to a
+    :class:`~repro.pipeline.engine.StagePipeline` underneath (exposed as
+    :attr:`pipeline`, with its event bus as :attr:`events`).
+    """
 
     def __init__(
         self,
@@ -78,17 +58,29 @@ class LassiPipeline:
         executor: Optional[Executor] = None,
         baseline_preparer: Optional[BaselinePreparer] = None,
     ) -> None:
+        builder = PipelineBuilder(
+            llm,
+            source_dialect,
+            target_dialect,
+            config=config,
+            executor=executor,
+            baseline_preparer=baseline_preparer,
+        )
+        #: The underlying stage-graph pipeline.
+        self.pipeline: StagePipeline = builder.build()
+        # Legacy attribute surface, kept for existing callers.
         self.llm = llm
         self.source_dialect = source_dialect
         self.target_dialect = target_dialect
-        self.config = config or PipelineConfig()
-        self.executor = executor or Executor()
-        self.baselines = baseline_preparer or BaselinePreparer(self.executor)
-        self.prompt_builder = PromptBuilder(
-            source_dialect,
-            target_dialect,
-            include_knowledge=self.config.include_knowledge,
-        )
+        self.config = builder.config
+        self.executor = builder.executor
+        self.baselines = builder.baselines
+        self.prompt_builder = builder.prompt_builder
+
+    @property
+    def events(self) -> EventBus:
+        """The underlying pipeline's event bus."""
+        return self.pipeline.events
 
     # ------------------------------------------------------------------
     def translate(
@@ -99,158 +91,21 @@ class LassiPipeline:
         work_scale: float = 1.0,
         launch_scale: Optional[float] = None,
     ) -> LassiResult:
-        """Run the full pipeline for one program.
+        """Run the full pipeline for one program (see
+        :meth:`StagePipeline.run` for semantics)."""
+        return self.pipeline.run(
+            source_code,
+            reference_target_code=reference_target_code,
+            args=args,
+            work_scale=work_scale,
+            launch_scale=launch_scale,
+        )
 
-        ``reference_target_code`` is the human-written program in the target
-        language (the HeCBench counterpart); it provides the expected stdout,
-        the runtime-Ratio denominator and the similarity reference.  Raises
-        :class:`~repro.errors.BaselineError` when either original program
-        does not work — §III-A halts the pipeline in that case.
+    # ------------------------------------------------------------------
+    def stage_names(self) -> List[str]:
+        """The Figure 1 stage graph, in order (used by the ASCII renderer).
+
+        Derived from the live stage graph — no longer a hand-maintained
+        string list.
         """
-        result = LassiResult(
-            status="no-code",
-            source_dialect=self.source_dialect.value,
-            target_dialect=self.target_dialect.value,
-            model=self.llm.name,
-        )
-
-        # §III-A: both originals must compile and run before translating.
-        self.baselines.prepare(
-            source_code, self.source_dialect, args, work_scale, launch_scale
-        )
-        reference: Optional[Baseline] = None
-        if reference_target_code is not None:
-            reference = self.baselines.prepare(
-                reference_target_code, self.target_dialect, args,
-                work_scale, launch_scale,
-            )
-
-        # §III-B/C: context preparation + generation.
-        try:
-            bundle = self.prompt_builder.build(self.llm, source_code)
-        except ContextWindowExceeded as exc:
-            result.status = "no-code"
-            result.failure_detail = str(exc)
-            return result
-        result.prompt_tokens = bundle.prompt_tokens
-        response = self.llm.chat([
-            ChatMessage("system", bundle.system),
-            ChatMessage("user", bundle.full_user_prompt),
-        ])
-        code = extract_code_block(
-            response.text,
-            prefer_langs=["cuda", "cu"] if self.target_dialect is Dialect.CUDA
-            else ["cpp", "c++"],
-        )
-
-        compiler = compiler_for(self.target_dialect)
-        corrections = 0
-        attempt_index = 0
-        kind = "initial"
-        execution = None
-
-        while True:
-            attempt = Attempt(index=attempt_index, kind=kind, code=code)
-            result.attempts.append(attempt)
-            attempt_index += 1
-
-            if code is None:
-                result.status = "no-code"
-                result.failure_detail = "response contained no code block"
-                return result
-
-            compile_result = compiler.compile(code)
-            attempt.compiled = compile_result.ok
-            if not compile_result.ok:
-                attempt.stderr = compile_result.stderr
-                if corrections >= self.config.effective_max_corrections:
-                    result.status = "compile-failed"
-                    result.failure_detail = compile_result.stderr
-                    result.generated_code = code
-                    result.self_corrections = corrections
-                    return result
-                code = self._correct(
-                    "compile", code, compile_result.command, compile_result.stderr
-                )
-                corrections += 1
-                kind = "compile-correction"
-                continue
-
-            execution = self.executor.run(
-                compile_result.program, self.target_dialect, args,
-                work_scale=work_scale, launch_scale=launch_scale,
-            )
-            attempt.executed = execution.ok
-            if not execution.ok:
-                attempt.stderr = execution.stderr
-                if corrections >= self.config.effective_max_corrections:
-                    result.status = "execute-failed"
-                    result.failure_detail = execution.stderr
-                    result.generated_code = code
-                    result.self_corrections = corrections
-                    return result
-                code = self._correct(
-                    "execute", code, compile_result.command, execution.stderr
-                )
-                corrections += 1
-                kind = "execute-correction"
-                continue
-            break
-
-        result.generated_code = code
-        result.self_corrections = corrections
-        result.stdout = execution.stdout
-        result.runtime_seconds = execution.runtime_seconds
-
-        # Verification + metrics against the reference target program.
-        if reference is not None:
-            if self.config.verify_output:
-                verdict = verify_output(reference.stdout, execution.stdout)
-                result.verified = verdict.matches
-                if not verdict.matches:
-                    result.status = "output-mismatch"
-                    result.failure_detail = verdict.detail
-                    return result
-            result.ratio = runtime_ratio(
-                reference.runtime_seconds, execution.runtime_seconds
-            )
-            result.sim_t = sim_t(reference.source, code)
-            result.sim_l = sim_l(reference.source, code)
-
-        result.status = "success"
-        return result
-
-    # ------------------------------------------------------------------
-    def _correct(self, kind: str, code: str, command: str, stderr: str) -> Optional[str]:
-        """One Table III correction round; returns the re-extracted code."""
-        messages = self.prompt_builder.correction_messages(
-            self.llm, kind, code, command, stderr
-        )
-        response = self.llm.chat(messages)
-        return extract_code_block(
-            response.text,
-            prefer_langs=["cuda", "cu"] if self.target_dialect is Dialect.CUDA
-            else ["cpp", "c++"],
-        )
-
-    # ------------------------------------------------------------------
-    def stage_names(self) -> list:
-        """The Figure 1 stage graph, in order (used by the ASCII renderer)."""
-        stages = [
-            "Source code preparation (baseline compile + run)",
-            "Language-specific context preparation",
-        ]
-        if self.config.include_knowledge:
-            stages.append("Self-prompt: knowledge summary")
-        stages.append("Self-prompt: source code description")
-        stages.append("Code generation (LLM)")
-        if self.config.self_correction:
-            stages.append("Compile self-correction loop")
-            stages.append("Execute self-correction loop")
-        else:
-            stages.append("Compile (single attempt)")
-            stages.append("Execute (single attempt)")
-        if self.config.verify_output:
-            stages.append("Automated output verification")
-        stages.append("Metrics (Runtime, Ratio, Sim-T, Sim-L, Self-corr)")
-        return stages
+        return self.pipeline.stage_names()

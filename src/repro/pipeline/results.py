@@ -3,14 +3,42 @@
 Both record types round-trip through plain dicts (``to_dict`` /
 ``from_dict``) so a :class:`~repro.experiments.session.RunSession` can
 persist every result to a JSONL artifact and rebuild it on resume.
+
+Terminal statuses are a :class:`Status` str-enum whose members serialize
+to the exact historical string literals (``"success"``, ``"no-code"``,
+…) — session files and cache entries written before the enum existed
+load unchanged, and new ones are byte-identical to old ones.
+
+Per-stage wall-clock timings (:attr:`LassiResult.stage_seconds`,
+populated by the engine via the event bus) are telemetry, not science:
+they are excluded from equality comparisons and from ``to_dict`` by
+default so sessions and caches stay deterministic; pass
+``include_timings=True`` to carry them across a process boundary.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.metrics.aggregate import ScenarioMetrics
+
+
+class Status(str, enum.Enum):
+    """Terminal pipeline statuses (values are the on-disk literals)."""
+
+    SUCCESS = "success"
+    NO_CODE = "no-code"
+    COMPILE_FAILED = "compile-failed"
+    EXECUTE_FAILED = "execute-failed"
+    OUTPUT_MISMATCH = "output-mismatch"
+
+    # str() and format() must yield the bare value on every supported
+    # Python version (3.9-3.12 disagree on mixed-in enum repr/format);
+    # session JSONL byte-identity depends on it.
+    __str__ = str.__str__
+    __format__ = str.__format__
 
 
 @dataclass
@@ -50,8 +78,8 @@ class Attempt:
 class LassiResult:
     """Full record of one pipeline run (one Table VI/VII cell)."""
 
-    status: str  # success | no-code | compile-failed | execute-failed |
-    #              output-mismatch
+    status: str  # a Status member (plain strings with the same values
+    #              compare and serialize identically)
     source_dialect: str
     target_dialect: str
     model: str
@@ -66,10 +94,13 @@ class LassiResult:
     prompt_tokens: int = 0
     verified: bool = False
     failure_detail: str = ""
+    #: Wall-clock seconds per stage name, accumulated over re-entries
+    #: (telemetry — excluded from equality and default serialization).
+    stage_seconds: Dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def ok(self) -> bool:
-        return self.status == "success"
+        return self.status == Status.SUCCESS
 
     def metrics(self) -> ScenarioMetrics:
         """Project onto the five table columns (§V-A)."""
@@ -84,9 +115,9 @@ class LassiResult:
             self_corrections=self.self_corrections,
         )
 
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "status": self.status,
+    def to_dict(self, include_timings: bool = False) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "status": str(self.status),
             "source_dialect": self.source_dialect,
             "target_dialect": self.target_dialect,
             "model": self.model,
@@ -102,11 +133,14 @@ class LassiResult:
             "verified": self.verified,
             "failure_detail": self.failure_detail,
         }
+        if include_timings:
+            data["stage_seconds"] = dict(self.stage_seconds)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "LassiResult":
         return cls(
-            status=data["status"],
+            status=Status(data["status"]),
             source_dialect=data["source_dialect"],
             target_dialect=data["target_dialect"],
             model=data["model"],
@@ -121,4 +155,5 @@ class LassiResult:
             prompt_tokens=data.get("prompt_tokens", 0),
             verified=data.get("verified", False),
             failure_detail=data.get("failure_detail", ""),
+            stage_seconds=dict(data.get("stage_seconds", {})),
         )

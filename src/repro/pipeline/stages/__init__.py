@@ -1,0 +1,42 @@
+"""Concrete stages of the Figure 1 pipeline graph.
+
+The :class:`~repro.pipeline.stages.base.Stage` protocol (``name``,
+``run(ctx) -> StageOutcome``, ``describe()``) is what the engine executes;
+everything here is a plain class implementing it structurally.  Assemble
+the default graph with :class:`~repro.pipeline.engine.PipelineBuilder`, or
+hand the engine any custom stage sequence.
+"""
+
+from repro.pipeline.stages.base import (
+    HALT,
+    JUMP,
+    PROCEED,
+    PipelineContext,
+    Stage,
+    StageOutcome,
+)
+from repro.pipeline.stages.prep import BaselinePrep, ContextPrep
+from repro.pipeline.stages.generate import Generate
+from repro.pipeline.stages.loops import (
+    CompileCorrectLoop,
+    ExecuteCorrectLoop,
+    SelfCorrector,
+)
+from repro.pipeline.stages.finalize import ComputeMetrics, VerifyOutput
+
+__all__ = [
+    "HALT",
+    "JUMP",
+    "PROCEED",
+    "BaselinePrep",
+    "CompileCorrectLoop",
+    "ComputeMetrics",
+    "ContextPrep",
+    "ExecuteCorrectLoop",
+    "Generate",
+    "PipelineContext",
+    "SelfCorrector",
+    "Stage",
+    "StageOutcome",
+    "VerifyOutput",
+]

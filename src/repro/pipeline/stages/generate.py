@@ -1,0 +1,52 @@
+"""Generation stage: the §III-C translation request."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.llm.base import ChatMessage, LLMClient
+from repro.minilang.source import Dialect
+from repro.pipeline.stages.base import PipelineContext, StageOutcome
+from repro.utils.text import extract_code_block
+
+
+def preferred_langs(target_dialect: Dialect) -> List[str]:
+    """Fence-tag preference for extracting the target-language block."""
+    if target_dialect is Dialect.CUDA:
+        return ["cuda", "cu"]
+    return ["cpp", "c++"]
+
+
+def extract_target_code(response_text: str, target_dialect: Dialect) -> Optional[str]:
+    """LASSI's "filter out the code block" step, shared with the loops."""
+    return extract_code_block(
+        response_text, prefer_langs=preferred_langs(target_dialect)
+    )
+
+
+class Generate:
+    """Query the LLM with the assembled prompt and extract the code block.
+
+    A response with no fenced code block leaves ``ctx.code`` as ``None``;
+    the compile loop records that as the (failed) initial attempt, exactly
+    like the monolithic pipeline did.
+    """
+
+    name = "generate"
+
+    def __init__(self, llm: LLMClient, target_dialect: Dialect) -> None:
+        self.llm = llm
+        self.target_dialect = target_dialect
+
+    def run(self, ctx: PipelineContext) -> StageOutcome:
+        bundle = ctx.bundle
+        assert bundle is not None, "Generate requires ContextPrep's bundle"
+        response = self.llm.chat([
+            ChatMessage("system", bundle.system),
+            ChatMessage("user", bundle.full_user_prompt),
+        ])
+        ctx.code = extract_target_code(response.text, self.target_dialect)
+        return StageOutcome.proceed()
+
+    def describe(self) -> List[str]:
+        return ["Code generation (LLM)"]

@@ -1,0 +1,89 @@
+"""Preparation stages: §III-A baselines and §III-B/C context assembly."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ContextWindowExceeded
+from repro.llm.base import LLMClient
+from repro.minilang.source import Dialect
+from repro.pipeline.baseline import BaselinePreparer
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.results import Status
+from repro.pipeline.stages.base import PipelineContext, StageOutcome
+from repro.prompts.builder import PromptBuilder
+
+
+class BaselinePrep:
+    """§III-A: both originals must compile and run before translating.
+
+    Raises :class:`~repro.errors.BaselineError` (propagated to the caller,
+    exactly as the monolithic pipeline did) when either original fails —
+    the paper halts until the user corrects the input code.
+    """
+
+    name = "baseline-prep"
+
+    def __init__(
+        self,
+        baselines: BaselinePreparer,
+        source_dialect: Dialect,
+        target_dialect: Dialect,
+    ) -> None:
+        self.baselines = baselines
+        self.source_dialect = source_dialect
+        self.target_dialect = target_dialect
+
+    def run(self, ctx: PipelineContext) -> StageOutcome:
+        self.baselines.prepare(
+            ctx.source_code, self.source_dialect, ctx.args,
+            ctx.work_scale, ctx.launch_scale,
+        )
+        if ctx.reference_code is not None:
+            ctx.reference = self.baselines.prepare(
+                ctx.reference_code, self.target_dialect, ctx.args,
+                ctx.work_scale, ctx.launch_scale,
+            )
+        return StageOutcome.proceed()
+
+    def describe(self) -> List[str]:
+        return ["Source code preparation (baseline compile + run)"]
+
+
+class ContextPrep:
+    """§III-B/C: prompt dictionary + knowledge + self-prompt summaries.
+
+    Runs the self-prompting LLM calls (knowledge summary, code
+    description) and assembles the full translation prompt.  A prompt that
+    cannot fit the model's context window halts the run with a
+    ``no-code`` result carrying the budget failure as ``failure_detail``.
+    """
+
+    name = "context-prep"
+
+    def __init__(
+        self,
+        llm: LLMClient,
+        prompt_builder: PromptBuilder,
+        config: PipelineConfig,
+    ) -> None:
+        self.llm = llm
+        self.prompt_builder = prompt_builder
+        self.config = config
+
+    def run(self, ctx: PipelineContext) -> StageOutcome:
+        try:
+            ctx.bundle = self.prompt_builder.build(self.llm, ctx.source_code)
+        except ContextWindowExceeded as exc:
+            ctx.result.status = Status.NO_CODE
+            ctx.result.failure_detail = str(exc)
+            return StageOutcome.halt()
+        ctx.result.prompt_tokens = ctx.bundle.prompt_tokens
+        return StageOutcome.proceed()
+
+    def describe(self) -> List[str]:
+        names = ["Language-specific context preparation"]
+        if self.config.include_knowledge:
+            names.append("Self-prompt: knowledge summary")
+        names.append("Self-prompt: source code description")
+        return names

@@ -9,7 +9,7 @@ from repro.llm.profiles import CellPlan
 from repro.llm.simulated import SimulatedLLM
 from repro.minilang.source import Dialect
 from repro.pipeline import LassiPipeline
-from repro.pipeline.results import Attempt, LassiResult
+from repro.pipeline.results import Attempt, LassiResult, Status
 
 
 def _rt(result: LassiResult) -> LassiResult:
@@ -68,3 +68,54 @@ class TestLassiResultRoundTrip:
         r = LassiResult(status="no-code", source_dialect="cuda",
                         target_dialect="omp", model="deepseek")
         json.dumps(r.to_dict())  # must not raise
+
+
+class TestStatusEnum:
+    """The str-enum must serialize to the exact historical literals."""
+
+    #: Frozen: changing any of these breaks every session/cache on disk.
+    LITERALS = {
+        Status.SUCCESS: "success",
+        Status.NO_CODE: "no-code",
+        Status.COMPILE_FAILED: "compile-failed",
+        Status.EXECUTE_FAILED: "execute-failed",
+        Status.OUTPUT_MISMATCH: "output-mismatch",
+    }
+
+    def test_every_member_frozen(self):
+        assert set(Status) == set(self.LITERALS)
+        for member, literal in self.LITERALS.items():
+            assert member.value == literal
+            assert str(member) == literal            # no "Status.X" leak
+            assert f"{member}" == literal            # format() too
+            assert json.dumps(member) == f'"{literal}"'
+
+    def test_round_trip_is_identity(self):
+        for member, literal in self.LITERALS.items():
+            assert Status(literal) is member
+            assert Status(json.loads(json.dumps(member))) is member
+
+    def test_plain_string_comparisons_still_work(self):
+        r = LassiResult(status=Status.SUCCESS, source_dialect="omp",
+                        target_dialect="cuda", model="gpt4")
+        assert r.status == "success"
+        assert r.ok
+        legacy = LassiResult(status="success", source_dialect="omp",
+                             target_dialect="cuda", model="gpt4")
+        assert legacy.ok
+        assert legacy == r
+
+    def test_to_dict_emits_plain_str(self):
+        r = LassiResult(status=Status.OUTPUT_MISMATCH, source_dialect="omp",
+                        target_dialect="cuda", model="gpt4")
+        payload = r.to_dict()["status"]
+        assert payload == "output-mismatch"
+        assert type(payload) is str  # not the enum subclass
+        back = LassiResult.from_dict(r.to_dict())
+        assert back.status is Status.OUTPUT_MISMATCH
+
+    def test_session_line_bytes_are_stable(self):
+        r = LassiResult(status=Status.COMPILE_FAILED, source_dialect="omp",
+                        target_dialect="cuda", model="gpt4")
+        line = json.dumps(r.to_dict(), sort_keys=True)
+        assert '"status": "compile-failed"' in line

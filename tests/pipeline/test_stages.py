@@ -1,0 +1,323 @@
+"""Stage-graph engine tests: events, timings, graph edits, edge cases."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.hecbench import get_app
+from repro.llm.base import ChatMessage, GenerationResult, LLMClient
+from repro.llm.profiles import CellPlan
+from repro.llm.simulated import SimulatedLLM
+from repro.minilang.source import Dialect
+from repro.pipeline import (
+    LassiPipeline,
+    PipelineBuilder,
+    PipelineConfig,
+    StagePipeline,
+    Status,
+    build_pipeline,
+)
+from repro.pipeline.events import (
+    AttemptRecorded,
+    CorrectionIssued,
+    EventBus,
+    StageFinished,
+    StageStarted,
+)
+from repro.pipeline.stages import StageOutcome
+from repro.experiments.runner import Scenario, ScenarioResult
+
+APP = get_app("layout")
+
+#: Machine stage names of the full default graph, in graph order.
+FULL_GRAPH = [
+    "baseline-prep", "context-prep", "generate", "compile-correct",
+    "execute-correct", "verify", "metrics",
+]
+
+
+def make_pipeline(plan=None, config=None, subscribers=()):
+    llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA,
+                       plan=plan or CellPlan())
+    return build_pipeline(llm, Dialect.OMP, Dialect.CUDA, config=config,
+                          subscribers=subscribers)
+
+
+def run_app(pipeline, app=APP):
+    return pipeline.run(
+        app.omp_source,
+        reference_target_code=app.cuda_source,
+        args=app.args,
+        work_scale=app.work_scale,
+        launch_scale=app.launch_scale,
+    )
+
+
+class ScriptedLLM(LLMClient):
+    """Replays a fixed list of responses (self-prompts included)."""
+
+    def __init__(self, responses: List[str], context_length: int = 1 << 20):
+        self.name = "scripted"
+        self.context_length = context_length
+        self._responses = list(responses)
+        self.calls = 0
+
+    def chat(self, messages: List[ChatMessage]) -> GenerationResult:
+        self.calls += 1
+        if not self._responses:
+            raise AssertionError("ScriptedLLM ran out of responses")
+        return GenerationResult(text=self._responses.pop(0), model=self.name)
+
+
+class TestEventBus:
+    def test_stage_events_bracket_every_stage(self):
+        events = []
+        result = run_app(make_pipeline(subscribers=[events.append]))
+        assert result.ok
+        started = [e.stage for e in events if isinstance(e, StageStarted)]
+        finished = [e.stage for e in events if isinstance(e, StageFinished)]
+        assert started == finished == FULL_GRAPH
+        assert all(e.seconds >= 0 for e in events
+                   if isinstance(e, StageFinished))
+
+    def test_correction_and_attempt_events_match_result(self):
+        plan = CellPlan(
+            self_corrections=3,
+            fault_ids=("missing-semicolon", "kernel-called-directly",
+                       "oob-guard-cuda"),
+        )
+        events = []
+        pipeline = make_pipeline(plan=plan)
+        pipeline.events.subscribe(events.append)
+        result = run_app(pipeline, app=get_app("pathfinder"))
+        assert result.ok and result.self_corrections == 3
+        corrections = [e for e in events if isinstance(e, CorrectionIssued)]
+        attempts = [e for e in events if isinstance(e, AttemptRecorded)]
+        assert [c.corrections for c in corrections] == [1, 2, 3]
+        assert [c.kind for c in corrections] == ["compile", "compile", "execute"]
+        assert all(c.stderr for c in corrections)
+        assert [(a.index, a.kind) for a in attempts] == [
+            (i, a.kind) for i, a in enumerate(result.attempts)
+        ]
+        # The runtime fault jumps back into the compile loop (§III-D2).
+        finishes = [e for e in events if isinstance(e, StageFinished)]
+        assert any(e.outcome == "jump:compile-correct" for e in finishes)
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        bus.publish(StageStarted(stage="x"))
+        unsubscribe()
+        unsubscribe()  # idempotent
+        bus.publish(StageStarted(stage="y"))
+        assert [e.stage for e in seen] == ["x"]
+
+
+class TestStageTimings:
+    def test_success_populates_every_stage(self):
+        result = run_app(make_pipeline())
+        assert list(result.stage_seconds) == FULL_GRAPH
+        assert all(v >= 0 for v in result.stage_seconds.values())
+
+    def test_reentered_loop_accumulates(self):
+        plan = CellPlan(self_corrections=1, fault_ids=("oob-guard-cuda",))
+        result = run_app(make_pipeline(plan=plan), app=get_app("pathfinder"))
+        assert result.ok
+        # One runtime fault: compile loop entered twice, still one key.
+        assert list(result.stage_seconds) == FULL_GRAPH
+
+    def test_timings_are_per_run_not_cumulative(self):
+        pipeline = make_pipeline()
+        first = run_app(pipeline)
+        second = run_app(pipeline)
+        # Baselines are cached after the first run, so the second run's
+        # baseline stage must reflect its own (cheaper) wall time.
+        assert second.stage_seconds["baseline-prep"] <= first.stage_seconds[
+            "baseline-prep"
+        ]
+
+    def test_timings_excluded_from_serialization_and_equality(self):
+        result = run_app(make_pipeline())
+        data = result.to_dict()
+        assert "stage_seconds" in result.to_dict(include_timings=True)
+        assert "stage_seconds" not in data
+        back = type(result).from_dict(json.loads(json.dumps(data)))
+        assert back == result  # equality ignores the telemetry
+        assert back.stage_seconds == {}
+
+
+class TestGraphEdits:
+    def test_verify_stage_removed_by_config(self):
+        config = PipelineConfig(verify_output=False)
+        pipeline = make_pipeline(config=config)
+        assert [s.name for s in pipeline.stages] == [
+            n for n in FULL_GRAPH if n != "verify"
+        ]
+
+    def test_custom_stage_sequence(self):
+        class Probe:
+            name = "probe"
+
+            def __init__(self):
+                self.ran = 0
+
+            def run(self, ctx) -> StageOutcome:
+                self.ran += 1
+                ctx.result.status = Status.SUCCESS
+                return StageOutcome.halt()
+
+            def describe(self):
+                return ["Probe"]
+
+        llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=CellPlan())
+        builder = PipelineBuilder(llm, Dialect.OMP, Dialect.CUDA)
+        probe = Probe()
+        pipeline = builder.build(stages=[probe])
+        result = pipeline.run(APP.omp_source)
+        assert probe.ran == 1 and result.ok
+        assert pipeline.stage_names() == ["Probe"]
+
+    def test_duplicate_stage_names_rejected(self):
+        llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=CellPlan())
+        builder = PipelineBuilder(llm, Dialect.OMP, Dialect.CUDA)
+        stages = builder.default_stages()
+        with pytest.raises(PipelineError, match="unique"):
+            builder.build(stages=stages + [stages[-1]])
+
+    def test_unknown_jump_target_is_an_error(self):
+        class Jumper:
+            name = "jumper"
+
+            def run(self, ctx) -> StageOutcome:
+                return StageOutcome.jump("nowhere")
+
+            def describe(self):
+                return ["Jumper"]
+
+        llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=CellPlan())
+        pipeline = PipelineBuilder(llm, Dialect.OMP, Dialect.CUDA).build(
+            stages=[Jumper()]
+        )
+        with pytest.raises(PipelineError, match="unknown stage"):
+            pipeline.run(APP.omp_source)
+
+    def test_empty_graph_rejected(self):
+        llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=CellPlan())
+        with pytest.raises(PipelineError):
+            StagePipeline(stages=[], llm=llm, source_dialect=Dialect.OMP,
+                          target_dialect=Dialect.CUDA,
+                          config=PipelineConfig())
+
+
+class TestContextWindowExceeded:
+    """The §III-B budget check halts before any attempt is generated."""
+
+    def _result(self):
+        # Tiny window: the knowledge-summary budget check trips before
+        # any LLM call is made.
+        llm = ScriptedLLM(responses=[], context_length=64)
+        pipeline = build_pipeline(llm, Dialect.OMP, Dialect.CUDA)
+        return run_app(pipeline)
+
+    def test_early_return_shape(self):
+        result = self._result()
+        assert result.status == Status.NO_CODE
+        assert result.attempts == []
+        assert result.generated_code is None
+        assert result.prompt_tokens == 0
+        assert "exceeds context window" in result.failure_detail
+        # Only the stages that actually ran have timings.
+        assert list(result.stage_seconds) == ["baseline-prep", "context-prep"]
+
+    def test_round_trips_through_scenario_result(self):
+        result = self._result()
+        sr = ScenarioResult(
+            scenario=Scenario("gpt4", "omp2cuda", APP.name), result=result
+        )
+        back = ScenarioResult.from_dict(json.loads(json.dumps(sr.to_dict())))
+        assert back.result == result
+        assert back.result.failure_detail == result.failure_detail
+        assert back.result.attempts == []
+
+
+class TestCorrectionWithoutCodeBlock:
+    """A correction that returns prose keeps its triggering stderr."""
+
+    def _broken_code(self):
+        return "```cuda\nint main() { return undeclared; }\n```"
+
+    def test_compile_correction_no_code_records_stderr(self):
+        responses = [
+            "summary of the knowledge document",   # self-prompt: summary
+            "describes the program",               # self-prompt: description
+            self._broken_code(),                   # translation
+            "Sorry, I cannot fix this program.",   # correction: no fence
+        ]
+        llm = ScriptedLLM(responses)
+        pipeline = build_pipeline(llm, Dialect.OMP, Dialect.CUDA)
+        result = pipeline.run(APP.omp_source, args=APP.args,
+                              work_scale=APP.work_scale,
+                              launch_scale=APP.launch_scale)
+        assert result.status == Status.NO_CODE
+        assert result.failure_detail == "response contained no code block"
+        assert [a.kind for a in result.attempts] == [
+            "initial", "compile-correction"
+        ]
+        failing = result.attempts[-1]
+        assert failing.code is None
+        # The stderr that drove the failed correction is preserved.
+        assert "undeclared" in failing.stderr
+        assert failing.stderr == result.attempts[0].stderr
+        assert llm.calls == 4
+
+    def test_initial_no_code_has_no_stderr(self):
+        responses = [
+            "summary", "description", "no code here at all",
+        ]
+        llm = ScriptedLLM(responses)
+        pipeline = build_pipeline(llm, Dialect.OMP, Dialect.CUDA)
+        result = pipeline.run(APP.omp_source, args=APP.args,
+                              work_scale=APP.work_scale,
+                              launch_scale=APP.launch_scale)
+        assert result.status == Status.NO_CODE
+        assert [a.kind for a in result.attempts] == ["initial"]
+        assert result.attempts[0].stderr == ""
+
+
+class TestShimCompatibility:
+    def test_shim_matches_stage_pipeline(self):
+        plan = CellPlan(self_corrections=2,
+                        fault_ids=("missing-semicolon",
+                                   "undeclared-index-cuda"))
+        llm_a = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=plan)
+        llm_b = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=plan)
+        shim = LassiPipeline(llm_a, Dialect.OMP, Dialect.CUDA)
+        staged = build_pipeline(llm_b, Dialect.OMP, Dialect.CUDA)
+        a = shim.translate(
+            APP.omp_source, reference_target_code=APP.cuda_source,
+            args=APP.args, work_scale=APP.work_scale,
+            launch_scale=APP.launch_scale,
+        )
+        b = run_app(staged)
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_shim_exposes_events_and_translate(self):
+        pipeline = make_pipeline()
+        llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=CellPlan())
+        shim = LassiPipeline(llm, Dialect.OMP, Dialect.CUDA)
+        seen = []
+        shim.events.subscribe(seen.append)
+        result = shim.translate(
+            APP.omp_source, reference_target_code=APP.cuda_source,
+            args=APP.args, work_scale=APP.work_scale,
+            launch_scale=APP.launch_scale,
+        )
+        assert result.ok
+        assert any(isinstance(e, StageFinished) for e in seen)
+        assert shim.stage_names() == pipeline.stage_names()

@@ -6,7 +6,8 @@ import json
 
 import pytest
 
-import repro.cli
+import repro.api
+import repro.cli  # noqa: F401 - patched seams live in repro.api now
 from repro.cli import main
 
 
@@ -219,7 +220,7 @@ class TestTableForwardsProfileAndSeed:
                 return []
 
         monkeypatch.setattr(
-            repro.cli, "ParallelExperimentRunner", RecordingRunner
+            repro.api, "ParallelExperimentRunner", RecordingRunner
         )
         assert main(["table", "6", "--profile", "stochastic", "--seed", "7",
                      "--jobs", "3"]) == 0
@@ -242,7 +243,7 @@ class TestTableForwardsProfileAndSeed:
                 return []
 
         monkeypatch.setattr(
-            repro.cli, "ParallelExperimentRunner", RecordingRunner
+            repro.api, "ParallelExperimentRunner", RecordingRunner
         )
         assert main(["table", "7"]) == 0
         assert captured == {"profile": "paper", "seed": 2024, "jobs": 1}
