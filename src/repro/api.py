@@ -39,8 +39,10 @@ from repro.experiments.campaign import (
     CampaignRunner,
     CampaignSpec,
     get_preset,
+    merge_manifests,
 )
 from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.store import CacheStore, open_store
 from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
 from repro.experiments.session import RunSession
 from repro.hecbench import AppSpec, Suite, get_app
@@ -53,6 +55,8 @@ __all__ = [
     "build_campaign",
     "build_pipeline",
     "evaluate",
+    "merge_campaign",
+    "open_cache_store",
     "run_campaign",
     "translate",
 ]
@@ -127,6 +131,17 @@ def evaluate(
     )
 
 
+def open_cache_store(store: Union[str, Path, CacheStore]) -> CacheStore:
+    """Open a pluggable cache store from a URI, path, or open store.
+
+    Accepts ``dir:<path>`` (a directory tree with advisory file locks),
+    ``sqlite:<path>`` (a single sqlite file), a bare path (treated as a
+    directory tree), or an already-open
+    :class:`~repro.experiments.store.CacheStore` (returned unchanged).
+    """
+    return open_store(store)
+
+
 def build_campaign(
     spec: Union[str, CampaignSpec],
     root: Union[str, Path] = "campaigns",
@@ -134,12 +149,22 @@ def build_campaign(
     backend: str = "thread",
     executor: Optional[Executor] = None,
     log: Optional[Callable[[str], None]] = None,
+    cache_store: Union[str, Path, CacheStore, None] = None,
+    shard: Union[str, tuple, None] = None,
 ) -> CampaignRunner:
-    """Prepare a campaign runner (``spec`` may be a preset name)."""
+    """Prepare a campaign runner (``spec`` may be a preset name).
+
+    ``cache_store`` routes scenario results and persisted compilations
+    through a shared pluggable store (URI, path, or open store) instead
+    of the per-campaign cache tree; ``shard`` (``"i/N"`` or ``(i, N)``)
+    makes the runner execute only its slice of the variant×scenario
+    cells and write a partial ``manifest.shard-i-of-N.json`` that
+    :func:`merge_campaign` later fuses.
+    """
     resolved = get_preset(spec) if isinstance(spec, str) else spec
     return CampaignRunner(
         resolved, root=root, jobs=jobs, backend=backend, executor=executor,
-        log=log,
+        log=log, cache_store=cache_store, shard=shard,
     )
 
 
@@ -151,15 +176,31 @@ def run_campaign(
     executor: Optional[Executor] = None,
     log: Optional[Callable[[str], None]] = None,
     progress: Optional[Callable[[ScenarioResult], None]] = None,
+    cache_store: Union[str, Path, CacheStore, None] = None,
+    shard: Union[str, tuple, None] = None,
 ) -> CampaignResult:
     """Run a declarative ablation sweep into its campaign directory.
 
     ``spec`` may be a built-in preset name (``"knowledge-ablation"``) or a
     :class:`~repro.experiments.campaign.CampaignSpec`.  Fully resumable:
     re-running replays finished cells from their sessions and shared
-    cells from the cache.
+    cells from the cache.  See :func:`build_campaign` for the shared
+    ``cache_store`` and distributed ``shard`` knobs.
     """
     return build_campaign(
         spec, root=root, jobs=jobs, backend=backend, executor=executor,
-        log=log,
+        log=log, cache_store=cache_store, shard=shard,
     ).run(progress=progress)
+
+
+def merge_campaign(directory: Union[str, Path]) -> CampaignResult:
+    """Fuse a sharded campaign directory into its canonical artifacts.
+
+    ``directory`` is one campaign directory holding every shard's
+    ``manifest.shard-i-of-N.json`` and shard-suffixed sessions (copied
+    together from the hosts that ran them).  Refuses on missing shards,
+    mismatched specs/grids/config fingerprints, or overlapping/incomplete
+    scenario coverage; on success writes ``manifest.json`` plus canonical
+    per-cell sessions exactly as an unsharded run would have.
+    """
+    return merge_manifests(directory)

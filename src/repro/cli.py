@@ -7,7 +7,11 @@ deliverables:
 * ``translate`` — run the LASSI pipeline on one suite app;
 * ``evaluate``  — the §V experiment grid (optionally filtered);
 * ``table``     — print a paper table (4, 5, 6 or 7);
-* ``campaign``  — declarative ablation sweeps (run / report / list);
+* ``campaign``  — declarative ablation sweeps (run / merge / report /
+  list); ``run --shard i/N`` executes one slice of a distributed
+  campaign and ``merge`` fuses the slices;
+* ``cache``     — inspect / warm / garbage-collect pluggable cache
+  stores (``dir:<path>`` or ``sqlite:<path>`` URIs);
 * ``synth``     — generate / list / self-check synthetic app suites;
 * ``apps`` / ``models`` — list a suite and the model registry.
 
@@ -28,6 +32,7 @@ from typing import List, Optional
 from repro import api
 from repro.errors import UnknownApplicationError, UnknownSuiteError
 from repro.experiments import (
+    CacheStoreError,
     CampaignError,
     RunSession,
     SessionError,
@@ -35,6 +40,8 @@ from repro.experiments import (
     headline_summary,
     load_campaign,
     load_spec_file,
+    normalize_manifest,
+    open_store,
     preset_names,
     render_campaign_report,
     render_table4,
@@ -42,6 +49,7 @@ from repro.experiments import (
     render_translation_tables,
 )
 from repro.experiments.campaign import MANIFEST_NAME, PRESETS
+from repro.experiments.store import RESULTS_NAMESPACE
 from repro.hecbench import DEFAULT_SUITE, get_app, resolve_suite, suite_names
 from repro.llm.profiles import CUDA2OMP, OMP2CUDA
 from repro.llm.registry import all_models, model_keys
@@ -210,6 +218,7 @@ def _cmd_campaign_run(args) -> int:
         runner = api.build_campaign(
             spec, root=args.dir, jobs=args.jobs, backend=args.backend,
             log=lambda msg: print(f"  {msg}", file=sys.stderr),
+            cache_store=args.cache_store, shard=args.shard,
         )
 
         def progress(sr):
@@ -217,15 +226,114 @@ def _cmd_campaign_run(args) -> int:
             print(f"    {s.direction:9s} {s.model_key:12s} {s.app_name:16s} "
                   f"-> {sr.result.status}", file=sys.stderr)
 
-        print(f"campaign {spec.name}: {len(spec.cells())} cell(s) -> "
-              f"{runner.directory}", file=sys.stderr)
+        shard_note = f" (shard {args.shard})" if args.shard else ""
+        print(f"campaign {spec.name}: {len(spec.cells())} cell(s)"
+              f"{shard_note} -> {runner.directory}", file=sys.stderr)
         result = runner.run(progress=progress if args.verbose else None)
-    except (CampaignError, SessionError) as exc:
+    except (CacheStoreError, CampaignError, SessionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if runner.shard is not None:
+        # A shard holds only its slice of every cell; the per-variant
+        # comparison tables only make sense after `campaign merge`.
+        index, count = runner.shard
+        print(f"shard {index}/{count} complete: "
+              f"{sum(len(r.results) for r in result.runs)} scenario(s) "
+              f"across {len(result.runs)} cell(s); partial manifest "
+              f"{runner._manifest_path.name}")
+        print(f"\n{result.total_pipeline_runs} pipeline run(s) executed; "
+              f"artifacts in {runner.directory}", file=sys.stderr)
+        return 0
     print(render_campaign_report(result))
     print(f"\n{result.total_pipeline_runs} pipeline run(s) executed; "
           f"artifacts in {runner.directory}", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign_merge(args) -> int:
+    try:
+        result = api.merge_campaign(args.directory)
+    except (CampaignError, SessionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    merged_path = Path(args.directory) / MANIFEST_NAME
+    print(f"merged {len(result.runs)} cell(s) into {merged_path}",
+          file=sys.stderr)
+    if args.reference:
+        try:
+            reference = json.loads(
+                Path(args.reference).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: unreadable reference manifest "
+                  f"{args.reference}: {exc}", file=sys.stderr)
+            return 2
+        merged = json.loads(merged_path.read_text(encoding="utf-8"))
+        if normalize_manifest(merged) != normalize_manifest(reference):
+            print(f"error: merged manifest differs from reference "
+                  f"{args.reference} (beyond timing telemetry)",
+                  file=sys.stderr)
+            return 1
+        print(f"merged manifest matches reference {args.reference} "
+              f"(modulo timing telemetry)", file=sys.stderr)
+    print(render_campaign_report(result))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _cmd_cache_stat(args) -> int:
+    try:
+        store = open_store(args.store)
+        stat = store.stat()
+    except CacheStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(stat, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cache_warm(args) -> int:
+    try:
+        source = open_store(args.source)
+        dest = open_store(args.store)
+        copied: dict = {}
+        for ns in sorted(source.stat()["namespaces"]):
+            # Legacy per-campaign cache trees keep scenario results at the
+            # tree root; shared stores expect them namespaced.
+            target_ns = ns if ns else args.namespace
+            for key in source.keys(namespace=ns):
+                entry = source.get(key, namespace=ns)
+                if entry is None:
+                    continue  # corrupt at source: counted there, not copied
+                dest.put(key, entry, namespace=target_ns)
+                copied[target_ns] = copied.get(target_ns, 0) + 1
+    except CacheStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(
+        {
+            "from": source.describe(),
+            "to": dest.describe(),
+            "copied": sum(copied.values()),
+            "namespaces": copied,
+            "skipped_corrupt": source.corrupt,
+        },
+        indent=2, sort_keys=True,
+    ))
+    return 0
+
+
+def _cmd_cache_gc(args) -> int:
+    try:
+        store = open_store(args.store)
+        report = store.gc(max_age_seconds=args.max_age)
+    except CacheStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = report.to_dict()
+    if report.quarantined_ids:
+        payload["quarantined_ids"] = report.quarantined_ids
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -441,8 +549,32 @@ def build_parser() -> argparse.ArgumentParser:
     cr.add_argument("--suite", default=None,
                     help=f"override the spec's application suite "
                          f"({suite_help})")
+    cr.add_argument("--cache-store", default=None, metavar="URI",
+                    help="shared pluggable cache store (dir:<path> or "
+                         "sqlite:<path>; a bare path means dir:) for "
+                         "scenario results and persisted compilations; "
+                         "default: the campaign's own cache/ tree")
+    cr.add_argument("--shard", default=None, metavar="i/N",
+                    help="run only this slice of the variant x scenario "
+                         "cells (e.g. 0/2) and write a partial "
+                         "manifest.shard-i-of-N.json; fuse the slices "
+                         "with 'campaign merge'")
     cr.add_argument("--verbose", "-v", action="store_true")
     cr.set_defaults(func=_cmd_campaign_run)
+
+    cm = cgsub.add_parser(
+        "merge",
+        help="fuse per-shard partial manifests into the canonical "
+             "manifest.json + sessions",
+    )
+    cm.add_argument("directory",
+                    help="campaign directory holding every shard's "
+                         "manifest.shard-i-of-N.json and sessions")
+    cm.add_argument("--reference", metavar="PATH",
+                    help="an unsharded manifest.json to compare against; "
+                         "exits 1 unless the merged manifest matches it "
+                         "modulo timing telemetry")
+    cm.set_defaults(func=_cmd_campaign_merge)
 
     cp = cgsub.add_parser("report", help="render a campaign's comparison "
                                          "tables from its directory")
@@ -456,6 +588,44 @@ def build_parser() -> argparse.ArgumentParser:
                                        "directories")
     cl.add_argument("--dir", default="campaigns", metavar="DIR")
     cl.set_defaults(func=_cmd_campaign_list)
+
+    ca = sub.add_parser(
+        "cache",
+        help="inspect / warm / garbage-collect pluggable cache stores",
+    )
+    casub = ca.add_subparsers(dest="cache_command", required=True)
+    store_help = ("cache store: dir:<path>, sqlite:<path>, or a bare "
+                  "directory path")
+
+    cs = casub.add_parser("stat", help="print a store's entry counts, "
+                                       "sizes and corrupt-entry count")
+    cs.add_argument("store", help=store_help)
+    cs.set_defaults(func=_cmd_cache_stat)
+
+    cw = casub.add_parser(
+        "warm",
+        help="copy every readable entry from another store (e.g. seed a "
+             "shared sqlite store from a campaign's cache/ tree)",
+    )
+    cw.add_argument("store", help=f"destination {store_help}")
+    cw.add_argument("--from", dest="source", required=True, metavar="URI",
+                    help=f"source {store_help}")
+    cw.add_argument("--namespace", default=RESULTS_NAMESPACE, metavar="NS",
+                    help="namespace for entries found at the source's "
+                         "root (legacy campaign caches keep scenario "
+                         "results there; default: results)")
+    cw.set_defaults(func=_cmd_cache_warm)
+
+    cg_ = casub.add_parser(
+        "gc",
+        help="quarantine corrupt entries and optionally prune old ones",
+    )
+    cg_.add_argument("store", help=store_help)
+    cg_.add_argument("--max-age", type=float, default=None,
+                     metavar="SECONDS",
+                     help="also prune readable entries older than this "
+                          "(default: keep all readable entries)")
+    cg_.set_defaults(func=_cmd_cache_gc)
 
     sy = sub.add_parser(
         "synth", help="generate / list / self-check synthetic app suites"

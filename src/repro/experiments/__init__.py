@@ -6,6 +6,14 @@ from repro.experiments.runner import (
     ScenarioResult,
 )
 from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.store import (
+    CacheStore,
+    CacheStoreError,
+    DirectoryCacheStore,
+    SqliteCacheStore,
+    open_store,
+    parse_store_uri,
+)
 from repro.experiments.parallel import (
     BACKENDS,
     MAX_JOBS,
@@ -22,7 +30,12 @@ from repro.experiments.campaign import (
     get_preset,
     load_campaign,
     load_spec_file,
+    merge_manifests,
+    normalize_manifest,
+    parse_shard_spec,
     preset_names,
+    shard_cell_indexes,
+    shard_manifest_name,
 )
 from repro.experiments.report import render_campaign_report
 from repro.experiments.tables import (
@@ -39,10 +52,13 @@ from repro.experiments.stats import (
 __all__ = [
     "BACKENDS",
     "MAX_JOBS",
+    "CacheStore",
+    "CacheStoreError",
     "CampaignError",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "DirectoryCacheStore",
     "ExperimentRunner",
     "ParallelExperimentRunner",
     "ResultCache",
@@ -50,6 +66,7 @@ __all__ = [
     "SessionError",
     "Scenario",
     "ScenarioResult",
+    "SqliteCacheStore",
     "Variant",
     "cache_key",
     "direction_stats",
@@ -57,7 +74,14 @@ __all__ = [
     "headline_summary",
     "load_campaign",
     "load_spec_file",
+    "merge_manifests",
+    "normalize_manifest",
+    "open_store",
+    "parse_shard_spec",
+    "parse_store_uri",
     "preset_names",
+    "shard_cell_indexes",
+    "shard_manifest_name",
     "render_campaign_report",
     "render_table4",
     "render_table5",

@@ -1,6 +1,6 @@
 """Content-addressed scenario-result cache.
 
-A :class:`ResultCache` stores one JSON file per completed scenario, named
+A :class:`ResultCache` stores one JSON entry per completed scenario, named
 by the SHA-256 digest of the cell's full identity::
 
     (scenario key, profile, seed, PipelineConfig fingerprint)
@@ -18,18 +18,24 @@ progress of *one* grid, the cache is a cross-run store: it is consulted
 before a scenario is scheduled and written as each scenario completes.
 Entries whose stored identity does not match their digest (tampering,
 partial writes, format drift) are treated as misses and overwritten.
+
+Storage is pluggable (:mod:`repro.experiments.store`): the default is the
+historical directory tree (``<root>/<digest>.json``), but any
+:class:`~repro.experiments.store.CacheStore` — e.g. a sqlite file shared
+by every host of a sharded campaign — can be passed instead.  Corrupt
+entries are counted by the store (``corrupt_reads``), logged with the
+offending path, and quarantined by ``repro cache gc``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.experiments.runner import Scenario, ScenarioResult
+from repro.experiments.store import CacheStore, DirectoryCacheStore
 
 #: Bumped when the on-disk entry shape changes incompatibly, or when the
 #: results an identical cell identity would produce change (version 2:
@@ -42,7 +48,7 @@ CACHE_FORMAT_VERSION = 2
 def cache_key(
     scenario: Scenario, profile: str, seed: int, config_fingerprint: str
 ) -> str:
-    """SHA-256 digest of a cell's full identity (the entry's file name)."""
+    """SHA-256 digest of a cell's full identity (the entry's store key)."""
     payload = json.dumps(
         {
             "version": CACHE_FORMAT_VERSION,
@@ -57,26 +63,51 @@ def cache_key(
 
 
 class ResultCache:
-    """Disk-backed, content-addressed store of :class:`ScenarioResult`s.
+    """Store-backed, content-addressed cache of :class:`ScenarioResult`s.
 
-    Thread-safe: entries are written to a temporary file and atomically
-    renamed into place, so concurrent workers (or concurrent campaigns
-    sharing one cache directory) never observe half-written entries.
-    ``hits`` / ``misses`` / ``stores`` expose the traffic — the campaign
-    replay tests assert on them.
+    ``ResultCache(path)`` keeps the historical behaviour: a directory tree
+    with one atomically-renamed JSON file per entry.  ``ResultCache(
+    store=...)`` routes the same entries through any
+    :class:`~repro.experiments.store.CacheStore` backend under the given
+    ``namespace`` (shared stores separate scenario results from persisted
+    compile entries this way).  Thread-safe either way; ``hits`` /
+    ``misses`` / ``stores`` expose the traffic — the campaign replay tests
+    assert on them — and ``corrupt_reads`` counts undecodable entries the
+    backend encountered.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        store: Optional[CacheStore] = None,
+        namespace: Optional[str] = None,
+    ) -> None:
+        if (root is None) == (store is None):
+            raise ValueError("pass exactly one of root= or store=")
+        self.store = store if store is not None else DirectoryCacheStore(root)
+        #: Legacy directory layout keeps entries at the tree root; shared
+        #: stores get an explicit namespace so compile entries can coexist.
+        self.namespace = namespace if namespace is not None else ""
+        if root is not None:
+            self.root = Path(root)
 
     # ------------------------------------------------------------------
-    def _path(self, digest: str) -> Path:
-        return self.root / f"{digest}.json"
+    @property
+    def hits(self) -> int:
+        return self.store.hits
+
+    @property
+    def misses(self) -> int:
+        return self.store.misses
+
+    @property
+    def stores(self) -> int:
+        return self.store.stores
+
+    @property
+    def corrupt_reads(self) -> int:
+        """Undecodable entries seen by this handle (also logged)."""
+        return self.store.corrupt
 
     def get(
         self,
@@ -87,21 +118,26 @@ class ResultCache:
     ) -> Optional[ScenarioResult]:
         """Return the cached result for this cell, or None on a miss."""
         digest = cache_key(scenario, profile, seed, config_fingerprint)
-        path = self._path(digest)
-        entry = self._read(path)
-        if entry is None or entry.get("key") != digest:
-            with self._lock:
-                self.misses += 1
+        entry = self.store.get(digest, namespace=self.namespace)
+        if entry is None:
+            return None
+        if (
+            entry.get("version") != CACHE_FORMAT_VERSION
+            or entry.get("key") != digest
+        ):
+            self._demote_hit()
             return None
         try:
-            result = ScenarioResult.from_dict(entry["result"])
+            return ScenarioResult.from_dict(entry["result"])
         except (KeyError, TypeError):
-            with self._lock:
-                self.misses += 1
+            self._demote_hit()
             return None
-        with self._lock:
-            self.hits += 1
-        return result
+
+    def _demote_hit(self) -> None:
+        # The store saw a well-formed JSON object and counted a hit, but
+        # the entry is unusable at this layer (format drift, tampering):
+        # reclassify, so hit/miss counters describe replayable results.
+        self.store.reclassify_hit_as_miss()
 
     def put(
         self,
@@ -120,30 +156,16 @@ class ResultCache:
             "config_fingerprint": config_fingerprint,
             "result": result.to_dict(),
         }
-        path = self._path(digest)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
-        with self._lock:
-            self.stores += 1
+        self.store.put(digest, entry, namespace=self.namespace)
         return digest
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _read(path: Path) -> Optional[Dict[str, Any]]:
-        try:
-            raw = path.read_text(encoding="utf-8")
-        except OSError:
-            return None
-        try:
-            entry = json.loads(raw)
-        except json.JSONDecodeError:
-            return None
-        if not isinstance(entry, dict):
-            return None
-        if entry.get("version") != CACHE_FORMAT_VERSION:
-            return None
-        return entry
+    def stats(self) -> Dict[str, Any]:
+        """Traffic counters plus the backend's identity."""
+        counters = self.store.counters()
+        counters["backend"] = self.store.backend
+        counters["namespace"] = self.namespace
+        return counters
 
     def __len__(self) -> int:
-        return sum(1 for p in self.root.glob("*.json") if not p.name.startswith("."))
+        return len(self.store.keys(namespace=self.namespace))

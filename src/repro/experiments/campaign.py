@@ -36,26 +36,39 @@ Built-in presets (:data:`PRESETS`) reproduce the paper's ablations:
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import re
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ReproError
 from repro.experiments.cache import ResultCache
+from repro.experiments.store import CacheStore, RESULTS_NAMESPACE, open_store
 from repro.metrics.aggregate import merge_stage_seconds
 from repro.experiments.parallel import ParallelExperimentRunner
-from repro.experiments.runner import ExperimentRunner, ScenarioResult
+from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
 from repro.experiments.session import RunSession
 from repro.pipeline import BaselinePreparer, PipelineConfig
-from repro.toolchain import Executor
+from repro.toolchain import Executor, PersistentCompileCache, compile_cache_scope
 
 #: Bumped when the manifest shape changes incompatibly.
 MANIFEST_FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
+
+#: Shard-spec syntax accepted by ``--shard`` / ``CampaignRunner(shard=)``.
+_SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+#: Partial-manifest naming for sharded runs (``manifest.shard-0-of-2.json``).
+_SHARD_MANIFEST_RE = re.compile(r"^manifest\.shard-(\d+)-of-(\d+)\.json$")
+
+#: Per-cell session naming for sharded runs.
+_SHARD_SESSION_SUFFIX = ".shard-{index}-of-{count}.jsonl"
+_SHARD_SESSION_RE = re.compile(r"\.shard-\d+-of-\d+\.jsonl$")
 
 DEFAULT_SEED = 2024
 
@@ -66,6 +79,63 @@ _CONFIG_FIELDS = {f.name for f in fields(PipelineConfig)}
 
 class CampaignError(ReproError):
     """Raised for invalid specs and unusable campaign directories."""
+
+
+def parse_shard_spec(
+    shard: Union[str, Tuple[int, int], None],
+) -> Optional[Tuple[int, int]]:
+    """Normalize a shard spec — ``"i/N"`` or ``(i, N)`` — to a tuple.
+
+    ``None`` means unsharded.  ``i`` is the zero-based shard index,
+    ``N`` the shard count; ``0 <= i < N`` is enforced here so every
+    downstream consumer can trust the tuple.
+    """
+    if shard is None:
+        return None
+    if isinstance(shard, str):
+        match = _SHARD_RE.match(shard.strip())
+        if not match:
+            raise CampaignError(
+                f"shard spec {shard!r} must look like i/N (e.g. 0/2)"
+            )
+        index, count = int(match.group(1)), int(match.group(2))
+    else:
+        try:
+            index, count = int(shard[0]), int(shard[1])
+        except (TypeError, ValueError, IndexError):
+            raise CampaignError(
+                f"shard spec {shard!r} must be 'i/N' or an (i, N) pair"
+            ) from None
+    if count < 1:
+        raise CampaignError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise CampaignError(
+            f"shard index {index} out of range for {count} shard(s)"
+        )
+    return (index, count)
+
+
+def shard_manifest_name(index: int, count: int) -> str:
+    """The partial-manifest file name for one shard of an ``N``-way run."""
+    return f"manifest.shard-{index}-of-{count}.json"
+
+
+def shard_cell_indexes(
+    cell_index: int, grid_size: int, shard: Tuple[int, int]
+) -> List[int]:
+    """This shard's scenario positions within one cell's enumeration.
+
+    The campaign's work units are the flattened variant×scenario cells in
+    deterministic order (cell-major, scenario-minor); shard ``(i, n)``
+    takes every unit whose flat index is ``i`` modulo ``n``.  Together the
+    ``n`` shards partition the flat list exactly — disjoint and complete —
+    which the merge re-verifies from the recorded sessions.
+    """
+    index, count = shard
+    return [
+        j for j in range(grid_size)
+        if (cell_index * grid_size + j) % count == index
+    ]
 
 
 def _check_name(kind: str, name: str) -> str:
@@ -209,6 +279,15 @@ class CampaignCell:
     def session_name(self) -> str:
         return f"{self.variant.name}-seed{self.seed}.jsonl"
 
+    def session_name_for(self, shard: Optional[Tuple[int, int]]) -> str:
+        """Session file name, shard-suffixed for partial (sharded) runs."""
+        if shard is None:
+            return self.session_name
+        stem = f"{self.variant.name}-seed{self.seed}"
+        return stem + _SHARD_SESSION_SUFFIX.format(
+            index=shard[0], count=shard[1]
+        )
+
 
 @dataclass
 class CellRun:
@@ -295,6 +374,8 @@ class CampaignRunner:
         executor: Optional[Executor] = None,
         log: Optional[Callable[[str], None]] = None,
         backend: str = "thread",
+        cache_store: Union[str, Path, CacheStore, None] = None,
+        shard: Union[str, Tuple[int, int], None] = None,
     ) -> None:
         self.spec = spec
         self.directory = Path(root) / spec.name
@@ -302,7 +383,24 @@ class CampaignRunner:
         self.backend = backend
         self.executor = executor or Executor()
         self.baselines = BaselinePreparer(self.executor)
-        self.cache = ResultCache(self.directory / "cache")
+        #: ``(index, count)`` when this runner executes one shard of the
+        #: campaign; its manifest and sessions get shard-suffixed names
+        #: and ``merge_manifests`` fuses them into the canonical artifacts.
+        self.shard = parse_shard_spec(shard)
+        #: Shared pluggable store (``dir:<path>`` / ``sqlite:<path>`` URI,
+        #: path, or an open CacheStore).  When given, scenario results go
+        #: through it under the ``results`` namespace and compilations are
+        #: persisted under ``compile``; when absent, the historical
+        #: per-campaign-directory cache tree is used.
+        self.cache_store: Optional[CacheStore] = (
+            open_store(cache_store) if cache_store is not None else None
+        )
+        if self.cache_store is not None:
+            self.cache = ResultCache(
+                store=self.cache_store, namespace=RESULTS_NAMESPACE
+            )
+        else:
+            self.cache = ResultCache(self.directory / "cache")
         self.sessions_dir = self.directory / "sessions"
         self.sessions_dir.mkdir(parents=True, exist_ok=True)
         self._log = log or (lambda _msg: None)
@@ -346,6 +444,31 @@ class CampaignRunner:
             ) from exc
 
     # ------------------------------------------------------------------
+    @property
+    def _manifest_path(self) -> Path:
+        """This run's manifest: canonical, or the shard's partial one."""
+        if self.shard is None:
+            return self.directory / MANIFEST_NAME
+        return self.directory / shard_manifest_name(*self.shard)
+
+    def _own_sessions(self) -> List[Path]:
+        """Session files belonging to *this* run's shard identity.
+
+        A sharded run must ignore sibling shards' sessions (they share the
+        campaign directory by design), and an unsharded run must ignore
+        shard-suffixed files (a merged directory keeps both layers); each
+        only refuses to resume over unaccounted sessions of its own kind.
+        """
+        if self.shard is not None:
+            suffix = _SHARD_SESSION_SUFFIX.format(
+                index=self.shard[0], count=self.shard[1]
+            )
+            return sorted(self.sessions_dir.glob(f"*{suffix}"))
+        return sorted(
+            p for p in self.sessions_dir.glob("*.jsonl")
+            if not _SHARD_SESSION_RE.search(p.name)
+        )
+
     def _check_existing_manifest(self) -> Optional[dict]:
         """Refuse to resume a directory recorded under a different grid.
 
@@ -362,7 +485,7 @@ class CampaignRunner:
         directory); sessions without a readable manifest cannot be tied to
         any grid, so resuming over them is refused too.
         """
-        path = self.directory / MANIFEST_NAME
+        path = self._manifest_path
         manifest = None
         try:
             manifest = json.loads(path.read_text(encoding="utf-8"))
@@ -372,7 +495,7 @@ class CampaignRunner:
             manifest.get("spec") if isinstance(manifest, dict) else None
         )
         if not isinstance(recorded_spec, dict):
-            leftovers = sorted(self.sessions_dir.glob("*.jsonl"))
+            leftovers = self._own_sessions()
             if leftovers:
                 raise CampaignError(
                     f"campaign directory {self.directory} has "
@@ -414,15 +537,41 @@ class CampaignRunner:
         return manifest
 
     # ------------------------------------------------------------------
+    def _cell_scenario_indexes(self, cell_index: int) -> Optional[List[int]]:
+        """This run's scenario positions for one cell (None = all)."""
+        if self.shard is None:
+            return None
+        return shard_cell_indexes(cell_index, self._grid_size, self.shard)
+
+    def _cell_expected(self, cell_index: int) -> int:
+        """How many scenarios this run owes the cell (shard-local)."""
+        indexes = self._cell_scenario_indexes(cell_index)
+        return self._grid_size if indexes is None else len(indexes)
+
     def run(self, progress: Optional[Callable] = None) -> CampaignResult:
-        """Execute every cell, persisting sessions + manifest as it goes."""
+        """Execute every cell, persisting sessions + manifest as it goes.
+
+        With a shared ``cache_store``, compilations inside the run are
+        also persisted to it (the ``compile`` namespace) through a
+        process-wide :func:`~repro.toolchain.compile_cache_scope`.
+        """
+        scope = (
+            compile_cache_scope(PersistentCompileCache(self.cache_store))
+            if self.cache_store is not None
+            else nullcontext()
+        )
+        with scope:
+            return self._run_cells(progress)
+
+    def _run_cells(self, progress: Optional[Callable]) -> CampaignResult:
         runs: List[CellRun] = []
         cells = self.spec.cells()
         self._write_manifest(runs, cells)
-        for cell in cells:
+        for cell_index, cell in enumerate(cells):
             config = cell.variant.config(self.spec.base_config)
             session = RunSession(
-                self.sessions_dir / cell.session_name, resume=True
+                self.sessions_dir / cell.session_name_for(self.shard),
+                resume=True,
             )
             already = len(session)
             runner = ParallelExperimentRunner(
@@ -442,6 +591,7 @@ class CampaignRunner:
                 directions=self.spec.directions,
                 apps=self.spec.apps,
                 progress=progress,
+                scenario_indexes=self._cell_scenario_indexes(cell_index),
             )
             # This run's telemetry (replayed scenarios contribute nothing),
             # merged with what earlier runs of this directory measured for
@@ -463,7 +613,7 @@ class CampaignRunner:
                 seed=cell.seed,
                 results=results,
                 config_fingerprint=config.fingerprint(),
-                expected_scenarios=self._grid_size,
+                expected_scenarios=self._cell_expected(cell_index),
                 pipeline_runs=runner.pipeline_runs,
                 stage_seconds=stage_seconds,
             ))
@@ -484,17 +634,17 @@ class CampaignRunner:
     ) -> None:
         done = {(r.variant.name, r.seed): r for r in runs}
         cell_entries = []
-        for cell in cells:
+        for cell_index, cell in enumerate(cells):
             run = done.get((cell.variant.name, cell.seed))
             cell_entries.append({
                 "variant": cell.variant.name,
                 "seed": cell.seed,
                 "profile": cell.variant.profile,
-                "session": f"sessions/{cell.session_name}",
+                "session": f"sessions/{cell.session_name_for(self.shard)}",
                 "config_fingerprint": cell.variant.config(
                     self.spec.base_config
                 ).fingerprint(),
-                "expected_scenarios": self._grid_size,
+                "expected_scenarios": self._cell_expected(cell_index),
                 "completed": run is not None,
                 "scenarios": len(run.results) if run is not None else None,
                 "pipeline_runs": run.pipeline_runs if run is not None else None,
@@ -506,18 +656,270 @@ class CampaignRunner:
                     if run is not None else None
                 ),
             })
-        manifest = {
-            "type": "campaign-manifest",
+        manifest: Dict[str, Any] = {
+            "type": (
+                "campaign-manifest" if self.shard is None
+                else "campaign-shard-manifest"
+            ),
             "version": MANIFEST_FORMAT_VERSION,
             "spec": self.spec.to_dict(),
             "cells": cell_entries,
         }
-        path = self.directory / MANIFEST_NAME
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        if self.shard is not None:
+            manifest["shard"] = {
+                "index": self.shard[0], "count": self.shard[1],
+            }
+            # The full (unsharded) per-cell grid size: the merge checks its
+            # own enumeration against what the shards were cut from.
+            manifest["grid_size"] = self._grid_size
+        _write_json_atomic(self._manifest_path, manifest)
+
+
+# ----------------------------------------------------------------------
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    os.replace(tmp, path)
+
+
+def normalize_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """A manifest with its execution telemetry stripped, for equality checks.
+
+    ``stage_seconds`` is wall-clock attribution — a nondeterministic
+    measurement, not a result — and ``pipeline_runs`` counts how many
+    pipelines *executed* rather than replayed, which depends on cache and
+    session state, not on the experiment (a reference rebuilt from a warm
+    store reports 0 where a cold run reports the full grid).  So
+    "shard + merge ≡ unsharded" is asserted over everything *except*
+    those two.  The CI fan-in gate and the shard tests compare
+    ``normalize_manifest(merged) == normalize_manifest(reference)``.
+    """
+    normalized = copy.deepcopy(manifest)
+    for cell in normalized.get("cells", []):
+        if isinstance(cell, dict):
+            cell.pop("stage_seconds", None)
+            cell.pop("pipeline_runs", None)
+    return normalized
+
+
+def _load_shard_manifests(
+    directory: Path,
+) -> List[Tuple[int, int, Dict[str, Any]]]:
+    """Parse every ``manifest.shard-i-of-N.json`` in a campaign directory."""
+    found = []
+    for path in sorted(directory.glob("manifest.shard-*.json")):
+        match = _SHARD_MANIFEST_RE.match(path.name)
+        if not match:
+            continue
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(f"unreadable shard manifest {path}: {exc}")
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("type") != "campaign-shard-manifest"
+        ):
+            raise CampaignError(f"{path} is not a campaign shard manifest")
+        if manifest.get("version") != MANIFEST_FORMAT_VERSION:
+            raise CampaignError(
+                f"shard manifest {path} has format version "
+                f"{manifest.get('version')!r}; this build reads version "
+                f"{MANIFEST_FORMAT_VERSION}"
+            )
+        shard = manifest.get("shard") or {}
+        index, count = int(match.group(1)), int(match.group(2))
+        if (shard.get("index"), shard.get("count")) != (index, count):
+            raise CampaignError(
+                f"shard manifest {path} records shard "
+                f"{shard.get('index')}/{shard.get('count')} but is named "
+                f"{index}-of-{count}"
+            )
+        found.append((index, count, manifest))
+    return found
+
+
+def merge_manifests(directory: Union[str, Path]) -> CampaignResult:
+    """Fuse per-shard partial manifests into the canonical campaign.
+
+    Reads every ``manifest.shard-i-of-N.json`` under ``directory``,
+    verifies the shards describe one experiment — same spec, same grid
+    identity, same per-cell config fingerprints, a complete 0..N-1 index
+    set, every shard cell completed — then re-assembles each cell's
+    scenario results from the shard sessions, **refusing** unless the
+    shards' coverage is disjoint and complete against the deterministic
+    scenario enumeration.  On success the canonical ``manifest.json`` and
+    per-cell ``sessions/*.jsonl`` are written exactly as an unsharded run
+    would have written them (byte-identical modulo ``stage_seconds``
+    telemetry), and the merged :class:`CampaignResult` is returned.
+    """
+    directory = Path(directory)
+    shards = _load_shard_manifests(directory)
+    if not shards:
+        raise CampaignError(
+            f"no shard manifests (manifest.shard-*-of-*.json) in {directory}"
         )
-        os.replace(tmp, path)
+    counts = {count for _idx, count, _m in shards}
+    if len(counts) != 1:
+        raise CampaignError(
+            f"shard manifests in {directory} disagree on the shard count: "
+            f"{sorted(counts)}"
+        )
+    count = counts.pop()
+    indexes = [idx for idx, _c, _m in shards]
+    if sorted(indexes) != list(range(count)):
+        missing = sorted(set(range(count)) - set(indexes))
+        raise CampaignError(
+            f"incomplete shard set in {directory}: have "
+            f"{sorted(indexes)} of {count}, missing {missing}"
+        )
+    ordered = [m for _i, _c, m in sorted(shards, key=lambda s: s[0])]
+
+    first = ordered[0]
+    spec = CampaignSpec.from_dict(first["spec"])
+    for manifest in ordered[1:]:
+        theirs = manifest["spec"]
+        if _grid_identity(
+            theirs.get("suite", "table4"), theirs.get("models"),
+            theirs.get("directions"), theirs.get("apps"),
+        ) != _grid_identity(spec.suite, spec.models, spec.directions,
+                            spec.apps):
+            raise CampaignError(
+                f"shard manifests in {directory} were recorded under "
+                f"different grids; refusing to blend two experiments"
+            )
+        if theirs != first["spec"]:
+            raise CampaignError(
+                f"shard manifests in {directory} record different campaign "
+                f"specs; refusing to merge"
+            )
+
+    if directory.name != spec.name:
+        raise CampaignError(
+            f"campaign directory {directory} is named {directory.name!r} "
+            f"but its shard manifests record campaign {spec.name!r}"
+        )
+    # A full runner re-derives the suite, validates the grid, and gives us
+    # the canonical manifest writer; its constructor also refuses if an
+    # existing canonical manifest belongs to a different grid.
+    runner = CampaignRunner(spec, root=directory.parent)
+    grid_sizes = {m.get("grid_size") for m in ordered}
+    if grid_sizes != {runner._grid_size}:
+        raise CampaignError(
+            f"shard manifests in {directory} were cut from a grid of size "
+            f"{sorted(grid_sizes)}; this build enumerates "
+            f"{runner._grid_size} scenario(s) per cell"
+        )
+    scenarios = ExperimentRunner(
+        executor=runner.executor, baselines=runner.baselines,
+        suite=runner.suite,
+    ).scenarios(spec.models, spec.directions, spec.apps)
+    full_keys = [s.key for s in scenarios]
+
+    cells = spec.cells()
+    runs: List[CellRun] = []
+    for cell_index, cell in enumerate(cells):
+        expected_fp = cell.variant.config(spec.base_config).fingerprint()
+        merged: Dict[Any, ScenarioResult] = {}
+        owner: Dict[Any, int] = {}
+        pipeline_runs = 0
+        timing_maps: List[Dict[str, float]] = []
+        for shard_index, manifest in enumerate(ordered):
+            try:
+                entry = manifest["cells"][cell_index]
+            except (KeyError, IndexError):
+                raise CampaignError(
+                    f"shard {shard_index} manifest in {directory} has no "
+                    f"cell {cell_index} ({cell.variant.name} "
+                    f"seed {cell.seed})"
+                )
+            if (entry.get("variant"), entry.get("seed")) != (
+                cell.variant.name, cell.seed,
+            ):
+                raise CampaignError(
+                    f"shard {shard_index} cell {cell_index} is "
+                    f"{entry.get('variant')!r} seed {entry.get('seed')!r}, "
+                    f"expected {cell.variant.name!r} seed {cell.seed!r}"
+                )
+            if entry.get("config_fingerprint") != expected_fp:
+                raise CampaignError(
+                    f"config fingerprint mismatch for cell "
+                    f"{cell.variant.name} seed {cell.seed}: shard "
+                    f"{shard_index} recorded "
+                    f"{entry.get('config_fingerprint')!r}, this build "
+                    f"computes {expected_fp!r}"
+                )
+            if not entry.get("completed"):
+                raise CampaignError(
+                    f"shard {shard_index} has not completed cell "
+                    f"{cell.variant.name} seed {cell.seed}; run it to "
+                    f"completion before merging"
+                )
+            session_path = directory / entry["session"]
+            if not session_path.exists():
+                raise CampaignError(
+                    f"shard {shard_index} session {session_path} is missing"
+                )
+            session = RunSession(session_path, resume=True)
+            for result in session:
+                key = result.scenario.key
+                if key in owner:
+                    raise CampaignError(
+                        f"shards {owner[key]} and {shard_index} both "
+                        f"recorded scenario {key} for cell "
+                        f"{cell.variant.name} seed {cell.seed}; shard "
+                        f"coverage must be disjoint"
+                    )
+                owner[key] = shard_index
+                merged[key] = result
+            pipeline_runs += entry.get("pipeline_runs") or 0
+            if entry.get("stage_seconds"):
+                timing_maps.append(dict(entry["stage_seconds"]))
+
+        extra = sorted(k for k in merged if k not in set(full_keys))
+        if extra:
+            raise CampaignError(
+                f"cell {cell.variant.name} seed {cell.seed} has recorded "
+                f"scenario(s) outside the campaign grid: {extra[:3]}"
+            )
+        missing = [k for k in full_keys if k not in merged]
+        if missing:
+            raise CampaignError(
+                f"cell {cell.variant.name} seed {cell.seed} is missing "
+                f"{len(missing)} of {len(full_keys)} scenario(s) after "
+                f"merging {count} shard(s) (first missing: {missing[0]}); "
+                f"shard coverage must be complete"
+            )
+        ordered_results = [merged[k] for k in full_keys]
+
+        # Write the canonical per-cell session exactly as an unsharded run
+        # would have: header first, then records in enumeration order.
+        canonical = runner.sessions_dir / cell.session_name
+        tmp = canonical.with_name(canonical.name + ".tmp")
+        if tmp.exists():
+            tmp.unlink()
+        out = RunSession(tmp)
+        out.bind(cell.variant.profile, cell.seed, expected_fp)
+        for result in ordered_results:
+            out.record(result)
+        os.replace(tmp, canonical)
+
+        runs.append(CellRun(
+            variant=cell.variant,
+            seed=cell.seed,
+            results=ordered_results,
+            config_fingerprint=expected_fp,
+            expected_scenarios=len(full_keys),
+            pipeline_runs=pipeline_runs,
+            stage_seconds={
+                stage: stats.total_seconds
+                for stage, stats in merge_stage_seconds(timing_maps).items()
+            },
+        ))
+
+    runner._write_manifest(runs, cells)
+    return CampaignResult(spec=spec, directory=directory, runs=runs)
 
 
 # ----------------------------------------------------------------------

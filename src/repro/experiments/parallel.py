@@ -153,6 +153,7 @@ class ParallelExperimentRunner(ExperimentRunner):
         apps: Optional[Iterable[str]] = None,
         progress: Optional[callable] = None,
         session: Optional[RunSession] = None,
+        scenario_indexes: Optional[List[int]] = None,
     ) -> List[ScenarioResult]:
         session = session or self.session
         fingerprint = self.config_fingerprint
@@ -160,6 +161,12 @@ class ParallelExperimentRunner(ExperimentRunner):
             session.bind(self.profile, self.seed, fingerprint)
 
         scenarios = self.scenarios(models, directions, apps)
+        if scenario_indexes is not None:
+            # A shard of the grid: the caller selects positions within the
+            # deterministic enumeration order (campaign sharding computes
+            # them from the shard spec).  Output order stays enumeration
+            # order restricted to the subset.
+            scenarios = [scenarios[i] for i in scenario_indexes]
         results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
 
         pending: List[int] = []

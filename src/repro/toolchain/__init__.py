@@ -12,7 +12,9 @@ from repro.toolchain.compiler import (
     CompileCache,
     CompileResult,
     CompilerDriver,
+    PersistentCompileCache,
     clear_compile_cache,
+    compile_cache_scope,
     compile_cache_stats,
     compiler_for,
     CUDA_COMPILER,
@@ -24,7 +26,9 @@ __all__ = [
     "CompileCache",
     "CompileResult",
     "CompilerDriver",
+    "PersistentCompileCache",
     "clear_compile_cache",
+    "compile_cache_scope",
     "compile_cache_stats",
     "compiler_for",
     "CUDA_COMPILER",

@@ -322,3 +322,145 @@ class TestCampaignCli:
         assert "knowledge-ablation" in out
         assert "stochastic-replicates" in out
         assert "cli-mini" in out and "2/2" in out
+
+
+class TestShardAndMergeCli:
+    def _spec_file(self, tmp_path):
+        spec = {
+            "name": "cli-shard",
+            "models": ["gpt4"],
+            "directions": ["omp2cuda"],
+            "apps": ["layout", "entropy"],
+            "variants": [
+                {"name": "baseline"},
+                {"name": "no-knowledge",
+                 "overrides": {"include_knowledge": False}},
+            ],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_shard_run_merge_and_reference_gate(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        ref = str(tmp_path / "ref")
+        shard = str(tmp_path / "sharded")
+        assert main(["campaign", "run", "--spec", spec, "--dir", ref]) == 0
+        capsys.readouterr()
+        for i in range(2):
+            rc = main(["campaign", "run", "--spec", spec, "--dir", shard,
+                       "--shard", f"{i}/2",
+                       "--cache-store",
+                       f"sqlite:{tmp_path / 'store.db'}"])
+            captured = capsys.readouterr()
+            assert rc == 0
+            assert f"shard {i}/2 complete" in captured.out
+            # No per-variant report on a partial run.
+            assert "(paper)" not in captured.out
+        rc = main(["campaign", "merge", f"{shard}/cli-shard",
+                   "--reference", f"{ref}/cli-shard/manifest.json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "matches reference" in captured.err
+        assert "no-knowledge" in captured.out  # merged report renders
+
+    def test_merge_reference_mismatch_exits_1(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        shard = str(tmp_path / "sharded")
+        for i in range(2):
+            assert main(["campaign", "run", "--spec", spec, "--dir", shard,
+                         "--shard", f"{i}/2"]) == 0
+        capsys.readouterr()
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"type": "campaign-manifest",
+                                     "cells": []}))
+        rc = main(["campaign", "merge", f"{shard}/cli-shard",
+                   "--reference", str(bogus)])
+        assert rc == 1
+        assert "differs from reference" in capsys.readouterr().err
+
+    def test_merge_without_shards_is_an_error(self, capsys, tmp_path):
+        (tmp_path / "empty").mkdir()
+        assert main(["campaign", "merge", str(tmp_path / "empty")]) == 2
+        assert "no shard manifests" in capsys.readouterr().err
+
+    def test_bad_shard_spec_is_usage_error(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        assert main(["campaign", "run", "--spec", spec,
+                     "--dir", str(tmp_path / "x"), "--shard", "5/2"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_bad_cache_store_uri_is_usage_error(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        assert main(["campaign", "run", "--spec", spec,
+                     "--dir", str(tmp_path / "x"),
+                     "--cache-store", "redis:nope"]) == 2
+        assert "unknown cache-store scheme" in capsys.readouterr().err
+
+
+class TestCacheCli:
+    def _filled_store(self, tmp_path):
+        from repro.experiments import open_store
+
+        uri = f"sqlite:{tmp_path / 'store.db'}"
+        store = open_store(uri)
+        store.put("k1", {"v": 1}, namespace="results")
+        store.put("k2", {"v": 2}, namespace="compile")
+        return uri
+
+    def test_stat_prints_json_shape(self, capsys, tmp_path):
+        uri = self._filled_store(tmp_path)
+        assert main(["cache", "stat", uri]) == 0
+        stat = json.loads(capsys.readouterr().out)
+        assert stat["backend"] == "sqlite"
+        assert stat["entries"] == 2
+        assert stat["corrupt"] == 0
+        assert stat["namespaces"] == {"compile": 1, "results": 1}
+
+    def test_warm_copies_between_backends(self, capsys, tmp_path):
+        uri = self._filled_store(tmp_path)
+        dest = f"dir:{tmp_path / 'tree'}"
+        assert main(["cache", "warm", dest, "--from", uri]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["copied"] == 2
+        assert report["namespaces"] == {"compile": 1, "results": 1}
+        assert main(["cache", "stat", dest]) == 0
+        stat = json.loads(capsys.readouterr().out)
+        assert stat["entries"] == 2
+
+    def test_warm_namespaces_legacy_root_entries(self, capsys, tmp_path):
+        # A legacy campaign cache tree keeps results at the root; warming
+        # it into a shared store must land them in the results namespace.
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        (legacy / "abc.json").write_text(json.dumps({"v": 1}))
+        assert main(["cache", "warm", f"sqlite:{tmp_path / 's.db'}",
+                     "--from", f"dir:{legacy}"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["namespaces"] == {"results": 1}
+
+    def test_gc_reports_and_quarantines(self, capsys, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "good.json").write_text(json.dumps({"v": 1}))
+        (tree / "bad.json").write_text("{not json")
+        assert main(["cache", "gc", f"dir:{tree}"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scanned"] == 2
+        assert report["kept"] == 1
+        assert report["quarantined"] == 1
+        assert report["quarantined_ids"]
+        assert not (tree / "bad.json").exists()
+
+    def test_gc_max_age_prunes(self, capsys, tmp_path):
+        uri = self._filled_store(tmp_path)
+        import time
+
+        time.sleep(0.05)
+        assert main(["cache", "gc", uri, "--max-age", "0.01"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["pruned"] == 2
+
+    def test_bad_store_uri_exits_2(self, capsys):
+        assert main(["cache", "stat", "redis:nope"]) == 2
+        assert "unknown cache-store scheme" in capsys.readouterr().err

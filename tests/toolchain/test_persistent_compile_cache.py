@@ -1,0 +1,123 @@
+"""Persisted compile cache: store-backed replay of front-end results,
+scope swapping, and corrupt-entry fall-through."""
+
+from __future__ import annotations
+
+import base64
+
+import pytest
+
+from repro.experiments.store import COMPILE_NAMESPACE, SqliteCacheStore
+from repro.minilang.source import Dialect
+from repro.toolchain import (
+    CompileCache,
+    PersistentCompileCache,
+    compile_cache_scope,
+    compile_cache_stats,
+    compiler_for,
+)
+from repro.toolchain.compiler import PERSISTED_COMPILE_VERSION
+
+OMP_SOURCE = """\
+void main() {
+  float data[256];
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < 256; i = i + 1) {
+    data[i] = i * 2.0;
+  }
+}
+"""
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return SqliteCacheStore(tmp_path / "store.db")
+
+
+def _compile_key():
+    return CompileCache.key(OMP_SOURCE, Dialect.OMP, "code.cpp")
+
+
+def _front_end():
+    return compiler_for(Dialect.OMP)._front_end(OMP_SOURCE, "code.cpp")
+
+
+class TestPersistence:
+    def test_put_persists_and_a_fresh_instance_replays(self, store):
+        first = PersistentCompileCache(store)
+        result = _front_end()
+        first.put(_compile_key(), result)
+        assert store.keys(namespace=COMPILE_NAMESPACE)
+
+        second = PersistentCompileCache(store)
+        replayed = second.get(_compile_key())
+        assert replayed is not None
+        assert replayed.ok == result.ok
+        assert replayed.stderr == result.stderr
+        assert replayed.command == result.command
+        assert second.stats()["store_hits"] == 1
+        # Promoted into memory: the next get is a pure memory hit.
+        second.get(_compile_key())
+        assert second.stats()["store_hits"] == 1
+
+    def test_memory_hit_skips_the_store(self, store):
+        cache = PersistentCompileCache(store)
+        cache.put(_compile_key(), _front_end())
+        cache.get(_compile_key())
+        assert cache.stats()["store_hits"] == 0
+
+    def test_version_mismatch_falls_through_to_a_miss(self, store):
+        cache = PersistentCompileCache(store)
+        cache.put(_compile_key(), _front_end())
+        key = PersistentCompileCache.store_key(_compile_key())
+        entry = store.get(key, namespace=COMPILE_NAMESPACE)
+        entry["version"] = PERSISTED_COMPILE_VERSION + 1
+        store.put(key, entry, namespace=COMPILE_NAMESPACE)
+        assert PersistentCompileCache(store).get(_compile_key()) is None
+
+    def test_undecodable_pickle_falls_through_to_a_miss(self, store):
+        cache = PersistentCompileCache(store)
+        cache.put(_compile_key(), _front_end())
+        key = PersistentCompileCache.store_key(_compile_key())
+        store.put(
+            key,
+            {
+                "version": PERSISTED_COMPILE_VERSION,
+                "key": list(_compile_key()),
+                "pickle": base64.b64encode(b"not a pickle").decode("ascii"),
+            },
+            namespace=COMPILE_NAMESPACE,
+        )
+        assert PersistentCompileCache(store).get(_compile_key()) is None
+
+
+class TestScope:
+    def test_scope_swaps_and_restores_the_process_memo(self, store):
+        import repro.toolchain.compiler as compiler_module
+
+        before = compiler_module._COMPILE_CACHE
+        cache = PersistentCompileCache(store)
+        with compile_cache_scope(cache):
+            assert compiler_module._COMPILE_CACHE is cache
+            compiler_for(Dialect.OMP).compile(OMP_SOURCE, "code.cpp")
+        assert compiler_module._COMPILE_CACHE is before
+        # The compile inside the scope was persisted.
+        assert store.keys(namespace=COMPILE_NAMESPACE)
+
+    def test_scope_restores_on_error(self, store):
+        import repro.toolchain.compiler as compiler_module
+
+        before = compiler_module._COMPILE_CACHE
+        with pytest.raises(RuntimeError):
+            with compile_cache_scope(PersistentCompileCache(store)):
+                raise RuntimeError("boom")
+        assert compiler_module._COMPILE_CACHE is before
+
+    def test_second_scope_replays_from_the_store(self, store):
+        driver = compiler_for(Dialect.OMP)
+        with compile_cache_scope(PersistentCompileCache(store)):
+            driver.compile(OMP_SOURCE, "code.cpp")
+        with compile_cache_scope(PersistentCompileCache(store)) as cache:
+            driver.compile(OMP_SOURCE, "code.cpp")
+            assert cache.stats()["store_hits"] == 1
+            assert compile_cache_stats()["store_hits"] == 1
