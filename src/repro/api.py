@@ -107,6 +107,7 @@ def evaluate(
     session: Optional[RunSession] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[ScenarioResult], None]] = None,
+    trace: bool = False,
 ) -> List[ScenarioResult]:
     """Run the evaluation grid (every argument optional, None = full axis).
 
@@ -114,7 +115,10 @@ def evaluate(
     :class:`~repro.experiments.parallel.ParallelExperimentRunner` — both
     backends rebuild the stage-graph pipeline per scenario, sessions
     persist/resume completed scenarios, and the cache replays identical
-    cells.
+    cells.  ``trace=True`` records telemetry spans for every executed
+    scenario and, when a session is given, writes them to a
+    ``.trace.jsonl`` sidecar next to the session log (the session JSONL
+    itself stays byte-deterministic).
     """
     runner = ParallelExperimentRunner(
         config=config,
@@ -125,6 +129,7 @@ def evaluate(
         session=session,
         cache=cache,
         suite=suite,
+        trace=trace,
     )
     return runner.run(
         models=models, directions=directions, apps=apps, progress=progress
@@ -151,6 +156,7 @@ def build_campaign(
     log: Optional[Callable[[str], None]] = None,
     cache_store: Union[str, Path, CacheStore, None] = None,
     shard: Union[str, tuple, None] = None,
+    trace: bool = False,
 ) -> CampaignRunner:
     """Prepare a campaign runner (``spec`` may be a preset name).
 
@@ -159,12 +165,14 @@ def build_campaign(
     of the per-campaign cache tree; ``shard`` (``"i/N"`` or ``(i, N)``)
     makes the runner execute only its slice of the variant×scenario
     cells and write a partial ``manifest.shard-i-of-N.json`` that
-    :func:`merge_campaign` later fuses.
+    :func:`merge_campaign` later fuses.  ``trace=True`` writes a
+    ``.trace.jsonl`` sidecar next to every cell session and a metrics
+    snapshot into the manifest's ``telemetry`` block.
     """
     resolved = get_preset(spec) if isinstance(spec, str) else spec
     return CampaignRunner(
         resolved, root=root, jobs=jobs, backend=backend, executor=executor,
-        log=log, cache_store=cache_store, shard=shard,
+        log=log, cache_store=cache_store, shard=shard, trace=trace,
     )
 
 
@@ -178,6 +186,7 @@ def run_campaign(
     progress: Optional[Callable[[ScenarioResult], None]] = None,
     cache_store: Union[str, Path, CacheStore, None] = None,
     shard: Union[str, tuple, None] = None,
+    trace: bool = False,
 ) -> CampaignResult:
     """Run a declarative ablation sweep into its campaign directory.
 
@@ -185,11 +194,12 @@ def run_campaign(
     :class:`~repro.experiments.campaign.CampaignSpec`.  Fully resumable:
     re-running replays finished cells from their sessions and shared
     cells from the cache.  See :func:`build_campaign` for the shared
-    ``cache_store`` and distributed ``shard`` knobs.
+    ``cache_store``, distributed ``shard``, and telemetry ``trace``
+    knobs.
     """
     return build_campaign(
         spec, root=root, jobs=jobs, backend=backend, executor=executor,
-        log=log, cache_store=cache_store, shard=shard,
+        log=log, cache_store=cache_store, shard=shard, trace=trace,
     ).run(progress=progress)
 
 

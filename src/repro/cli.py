@@ -12,12 +12,19 @@ deliverables:
   campaign and ``merge`` fuses the slices;
 * ``cache``     — inspect / warm / garbage-collect pluggable cache
   stores (``dir:<path>`` or ``sqlite:<path>`` URIs);
+* ``trace``     — summarize / show ``.trace.jsonl`` telemetry sidecars
+  written by ``evaluate --trace`` and ``campaign run --trace``;
 * ``synth``     — generate / list / self-check synthetic app suites;
 * ``apps`` / ``models`` — list a suite and the model registry.
 
 ``translate``, ``evaluate`` and ``campaign run`` accept ``--suite`` —
 a registered suite name (``table4``), a generated one
 (``synth:stencil,reduction:seeds=3``) or a ``+``-merged view.
+
+Progress and status lines go through the ``repro.cli`` logger (stderr,
+bare messages — see :mod:`repro.telemetry.log`); ``--log-level`` tunes
+the whole ``repro.*`` namespace.  Hard errors stay on plain stderr
+prints so they survive any logging configuration.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -54,9 +62,21 @@ from repro.hecbench import DEFAULT_SUITE, get_app, resolve_suite, suite_names
 from repro.llm.profiles import CUDA2OMP, OMP2CUDA
 from repro.llm.registry import all_models, model_keys
 from repro.synth import FAMILIES, check_apps, parse_suite_spec
+from repro.telemetry import (
+    collect_trace_paths,
+    configure_logging,
+    get_logger,
+    render_trace_show,
+    render_trace_summary,
+    summarize_traces,
+)
 
 DEFAULT_PROFILE = "paper"
 DEFAULT_SEED = 2024
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+logger = get_logger("cli")
 
 
 def _resolve_suite_arg(spec: str):
@@ -146,13 +166,13 @@ def _cmd_evaluate(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         if args.resume and len(session):
-            print(f"resuming session {args.session}: "
-                  f"{len(session)} scenario(s) already recorded",
-                  file=sys.stderr)
+            logger.info("resuming session %s: %d scenario(s) already recorded",
+                        args.session, len(session))
+
     def progress(sr):
         s = sr.scenario
-        print(f"  {s.direction:9s} {s.model_key:12s} {s.app_name:16s} "
-              f"-> {sr.result.status}", file=sys.stderr)
+        logger.info("  %-9s %-12s %-16s -> %s",
+                    s.direction, s.model_key, s.app_name, sr.result.status)
 
     try:
         results = api.evaluate(
@@ -162,6 +182,7 @@ def _cmd_evaluate(args) -> int:
             profile=args.profile, seed=args.seed, jobs=args.jobs,
             backend=args.backend, session=session, suite=suite,
             progress=progress if args.verbose else None,
+            trace=args.trace,
         )
     except SessionError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -178,8 +199,8 @@ def _cmd_evaluate(args) -> int:
 def _cmd_table(args) -> int:
     if args.number in (4, 5):
         if args.profile != DEFAULT_PROFILE or args.seed != DEFAULT_SEED:
-            print("note: --profile/--seed only affect tables 6 and 7; "
-                  f"table {args.number} is static", file=sys.stderr)
+            logger.info("note: --profile/--seed only affect tables 6 and 7; "
+                        "table %d is static", args.number)
         print(render_table4() if args.number == 4 else render_table5())
         return 0
     if args.number in (6, 7):
@@ -217,18 +238,19 @@ def _cmd_campaign_run(args) -> int:
             spec = dataclasses.replace(spec, suite=args.suite)
         runner = api.build_campaign(
             spec, root=args.dir, jobs=args.jobs, backend=args.backend,
-            log=lambda msg: print(f"  {msg}", file=sys.stderr),
+            log=lambda msg: logger.info("  %s", msg),
             cache_store=args.cache_store, shard=args.shard,
+            trace=args.trace,
         )
 
         def progress(sr):
             s = sr.scenario
-            print(f"    {s.direction:9s} {s.model_key:12s} {s.app_name:16s} "
-                  f"-> {sr.result.status}", file=sys.stderr)
+            logger.info("    %-9s %-12s %-16s -> %s",
+                        s.direction, s.model_key, s.app_name, sr.result.status)
 
         shard_note = f" (shard {args.shard})" if args.shard else ""
-        print(f"campaign {spec.name}: {len(spec.cells())} cell(s)"
-              f"{shard_note} -> {runner.directory}", file=sys.stderr)
+        logger.info("campaign %s: %d cell(s)%s -> %s",
+                    spec.name, len(spec.cells()), shard_note, runner.directory)
         result = runner.run(progress=progress if args.verbose else None)
     except (CacheStoreError, CampaignError, SessionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -241,12 +263,12 @@ def _cmd_campaign_run(args) -> int:
               f"{sum(len(r.results) for r in result.runs)} scenario(s) "
               f"across {len(result.runs)} cell(s); partial manifest "
               f"{runner._manifest_path.name}")
-        print(f"\n{result.total_pipeline_runs} pipeline run(s) executed; "
-              f"artifacts in {runner.directory}", file=sys.stderr)
+        logger.info("\n%d pipeline run(s) executed; artifacts in %s",
+                    result.total_pipeline_runs, runner.directory)
         return 0
     print(render_campaign_report(result))
-    print(f"\n{result.total_pipeline_runs} pipeline run(s) executed; "
-          f"artifacts in {runner.directory}", file=sys.stderr)
+    logger.info("\n%d pipeline run(s) executed; artifacts in %s",
+                result.total_pipeline_runs, runner.directory)
     return 0
 
 
@@ -257,8 +279,7 @@ def _cmd_campaign_merge(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     merged_path = Path(args.directory) / MANIFEST_NAME
-    print(f"merged {len(result.runs)} cell(s) into {merged_path}",
-          file=sys.stderr)
+    logger.info("merged %d cell(s) into %s", len(result.runs), merged_path)
     if args.reference:
         try:
             reference = json.loads(
@@ -274,8 +295,8 @@ def _cmd_campaign_merge(args) -> int:
                   f"{args.reference} (beyond timing telemetry)",
                   file=sys.stderr)
             return 1
-        print(f"merged manifest matches reference {args.reference} "
-              f"(modulo timing telemetry)", file=sys.stderr)
+        logger.info("merged manifest matches reference %s "
+                    "(modulo timing telemetry)", args.reference)
     print(render_campaign_report(result))
     return 0
 
@@ -337,6 +358,20 @@ def _cmd_cache_gc(args) -> int:
     return 0
 
 
+def _render_telemetry_block(telemetry: dict) -> str:
+    """Render a manifest's ``telemetry`` metrics snapshot as text."""
+    lines = ["Telemetry (manifest metrics snapshot):"]
+    counters = telemetry.get("counters", {})
+    for key in sorted(counters):
+        lines.append(f"  {counters[key]:>12g}  {key}")
+    gauges = telemetry.get("gauges", {})
+    for key in sorted(gauges):
+        lines.append(f"  {gauges[key]:>12g}  {key} (gauge)")
+    if len(lines) == 1:
+        lines.append("  (empty snapshot)")
+    return "\n".join(lines)
+
+
 def _cmd_campaign_report(args) -> int:
     directory = Path(args.dir) / args.name if args.name else Path(args.dir)
     try:
@@ -345,6 +380,21 @@ def _cmd_campaign_report(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_campaign_report(campaign))
+    if args.with_telemetry:
+        manifest = json.loads(
+            (directory / MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+        telemetry = manifest.get("telemetry")
+        if telemetry is None:
+            print("\nno telemetry in manifest "
+                  "(re-run the campaign with --trace)")
+        else:
+            print("\n" + _render_telemetry_block(telemetry))
+            try:
+                paths = collect_trace_paths(directory)
+                print("\n" + render_trace_summary(summarize_traces(paths)))
+            except (OSError, json.JSONDecodeError):
+                pass  # metrics without trace sidecars is still a report
     return 0
 
 
@@ -367,6 +417,28 @@ def _cmd_campaign_list(args) -> int:
                       f"cell(s) completed")
             except (OSError, json.JSONDecodeError):
                 print(f"  {path.parent.name:26s} (unreadable manifest)")
+    return 0
+
+
+def _cmd_trace_summarize(args) -> int:
+    try:
+        paths = collect_trace_paths(args.target)
+        summary = summarize_traces(paths, top=args.top)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_summary(summary))
+    return 0
+
+
+def _cmd_trace_show(args) -> int:
+    try:
+        paths = collect_trace_paths(args.target)
+        rendered = render_trace_show(paths, limit=args.limit)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(rendered)
     return 0
 
 
@@ -409,8 +481,7 @@ def _cmd_synth_generate(args) -> int:
             (out_dir / f"{app.name}.cpp").write_text(
                 app.omp_source, encoding="utf-8"
             )
-        print(f"wrote {2 * len(apps)} source file(s) to {out_dir}",
-              file=sys.stderr)
+        logger.info("wrote %d source file(s) to %s", 2 * len(apps), out_dir)
     passed = sum(1 for r in reports if r.ok)
     print(f"\n{passed}/{len(reports)} generated pair(s) passed the "
           f"differential self-check")
@@ -479,6 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="LASSI reproduction (CLUSTER 2024) command-line interface",
     )
+    parser.add_argument("--log-level", default="info", choices=LOG_LEVELS,
+                        help="verbosity of the repro.* logging namespace "
+                             "(stderr; default: info)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     suite_help = (
@@ -521,6 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="persist each result to a JSONL session artifact")
     ev.add_argument("--resume", action="store_true",
                     help="skip scenarios already recorded in --session")
+    ev.add_argument("--trace", action="store_true",
+                    help="record telemetry spans per scenario; with "
+                         "--session, write them to a .trace.jsonl sidecar "
+                         "(inspect with 'repro trace summarize')")
     ev.add_argument("--verbose", "-v", action="store_true")
     ev.set_defaults(func=_cmd_evaluate)
 
@@ -559,6 +637,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "cells (e.g. 0/2) and write a partial "
                          "manifest.shard-i-of-N.json; fuse the slices "
                          "with 'campaign merge'")
+    cr.add_argument("--trace", action="store_true",
+                    help="write a .trace.jsonl sidecar next to every cell "
+                         "session and a metrics snapshot into the "
+                         "manifest's telemetry block")
     cr.add_argument("--verbose", "-v", action="store_true")
     cr.set_defaults(func=_cmd_campaign_run)
 
@@ -582,6 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="campaign name under --dir (omit if --dir points "
                          "straight at the campaign directory)")
     cp.add_argument("--dir", default="campaigns", metavar="DIR")
+    cp.add_argument("--with-telemetry", action="store_true",
+                    help="append the manifest's metrics snapshot and, when "
+                         "trace sidecars exist, the full trace summary")
     cp.set_defaults(func=_cmd_campaign_report)
 
     cl = cgsub.add_parser("list", help="list presets and campaign "
@@ -627,6 +712,30 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: keep all readable entries)")
     cg_.set_defaults(func=_cmd_cache_gc)
 
+    tc = sub.add_parser(
+        "trace",
+        help="summarize / show .trace.jsonl telemetry sidecars",
+    )
+    tcsub = tc.add_subparsers(dest="trace_command", required=True)
+    target_help = ("a .trace.jsonl file, a session .jsonl (the sidecar is "
+                   "found by convention), or a campaign directory")
+
+    tsu = tcsub.add_parser(
+        "summarize",
+        help="per-stage latency percentiles, LLM-call histogram, cache "
+             "efficiency and the slowest traces",
+    )
+    tsu.add_argument("target", help=target_help)
+    tsu.add_argument("--top", type=_positive_int, default=5, metavar="N",
+                     help="how many slowest traces to list (default: 5)")
+    tsu.set_defaults(func=_cmd_trace_summarize)
+
+    tsh = tcsub.add_parser("show", help="print every trace's span tree")
+    tsh.add_argument("target", help=target_help)
+    tsh.add_argument("--limit", type=int, default=0, metavar="N",
+                     help="stop after N traces (default: 0 = all)")
+    tsh.set_defaults(func=_cmd_trace_show)
+
     sy = sub.add_parser(
         "synth", help="generate / list / self-check synthetic app suites"
     )
@@ -669,7 +778,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(args.log_level)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `repro trace show | head` closes stdout early; point the fd at
+        # devnull so the interpreter's shutdown flush stays quiet too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -53,6 +53,13 @@ from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
 from repro.experiments.session import RunSession
 from repro.pipeline import BaselinePreparer, PipelineConfig
+from repro.telemetry import (
+    diff_snapshots,
+    merge_snapshots,
+    merge_trace_files,
+    snapshot as metrics_snapshot,
+    trace_path_for,
+)
 from repro.toolchain import Executor, PersistentCompileCache, compile_cache_scope
 
 #: Bumped when the manifest shape changes incompatibly.
@@ -376,11 +383,20 @@ class CampaignRunner:
         backend: str = "thread",
         cache_store: Union[str, Path, CacheStore, None] = None,
         shard: Union[str, Tuple[int, int], None] = None,
+        trace: bool = False,
     ) -> None:
         self.spec = spec
         self.directory = Path(root) / spec.name
         self.jobs = jobs
         self.backend = backend
+        #: Telemetry switch: each cell runner traces its pipelines, every
+        #: cell session gets a ``.trace.jsonl`` sidecar, and the manifest
+        #: carries this run's metrics delta under ``"telemetry"``.
+        self.trace = trace
+        self._metrics_before = metrics_snapshot() if trace else None
+        #: Set by :func:`merge_manifests` to publish the shards' merged
+        #: telemetry instead of this process's (empty) delta.
+        self._telemetry: Optional[Dict[str, Any]] = None
         self.executor = executor or Executor()
         self.baselines = BaselinePreparer(self.executor)
         #: ``(index, count)`` when this runner executes one shard of the
@@ -467,6 +483,7 @@ class CampaignRunner:
         return sorted(
             p for p in self.sessions_dir.glob("*.jsonl")
             if not _SHARD_SESSION_RE.search(p.name)
+            and not p.name.endswith(".trace.jsonl")
         )
 
     def _check_existing_manifest(self) -> Optional[dict]:
@@ -585,6 +602,7 @@ class CampaignRunner:
                 baselines=self.baselines,
                 suite=self.suite,
                 backend=self.backend,
+                trace=self.trace,
             )
             results = runner.run(
                 models=self.spec.models,
@@ -672,6 +690,15 @@ class CampaignRunner:
             # The full (unsharded) per-cell grid size: the merge checks its
             # own enumeration against what the shards were cut from.
             manifest["grid_size"] = self._grid_size
+        # Telemetry rides in the manifest only for traced runs; like
+        # stage_seconds it is measurement, not science, and is stripped by
+        # normalize_manifest for shard-vs-reference equality.
+        if self._telemetry is not None:
+            manifest["telemetry"] = self._telemetry
+        elif self.trace and self._metrics_before is not None:
+            manifest["telemetry"] = diff_snapshots(
+                self._metrics_before, metrics_snapshot()
+            )
         _write_json_atomic(self._manifest_path, manifest)
 
 
@@ -697,6 +724,7 @@ def normalize_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
     ``normalize_manifest(merged) == normalize_manifest(reference)``.
     """
     normalized = copy.deepcopy(manifest)
+    normalized.pop("telemetry", None)
     for cell in normalized.get("cells", []):
         if isinstance(cell, dict):
             cell.pop("stage_seconds", None)
@@ -753,6 +781,11 @@ def merge_manifests(directory: Union[str, Path]) -> CampaignResult:
     per-cell ``sessions/*.jsonl`` are written exactly as an unsharded run
     would have written them (byte-identical modulo ``stage_seconds``
     telemetry), and the merged :class:`CampaignResult` is returned.
+
+    Traced shards additionally leave ``.trace.jsonl`` sidecars: these are
+    fused per cell into a canonical trace file (trace ids remapped to one
+    sequential space, metrics deltas summed), and the shard manifests'
+    ``telemetry`` blocks merge into the canonical manifest's.
     """
     directory = Path(directory)
     shards = _load_shard_manifests(directory)
@@ -905,6 +938,17 @@ def merge_manifests(directory: Union[str, Path]) -> CampaignResult:
             out.record(result)
         os.replace(tmp, canonical)
 
+        # Traced shards leave per-shard .trace.jsonl sidecars next to
+        # their sessions; fuse them (shard order, trace ids remapped to
+        # one sequence) into the canonical cell trace.
+        shard_traces = [
+            trace_path_for(directory / manifest["cells"][cell_index]["session"])
+            for manifest in ordered
+        ]
+        shard_traces = [p for p in shard_traces if p.exists()]
+        if shard_traces:
+            merge_trace_files(shard_traces, trace_path_for(canonical))
+
         runs.append(CellRun(
             variant=cell.variant,
             seed=cell.seed,
@@ -918,6 +962,12 @@ def merge_manifests(directory: Union[str, Path]) -> CampaignResult:
             },
         ))
 
+    shard_telemetry = [
+        m["telemetry"] for m in ordered
+        if isinstance(m.get("telemetry"), dict)
+    ]
+    if shard_telemetry:
+        runner._telemetry = merge_snapshots(shard_telemetry)
     runner._write_manifest(runs, cells)
     return CampaignResult(spec=spec, directory=directory, runs=runs)
 

@@ -49,7 +49,16 @@ from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
 from repro.experiments.session import RunSession
 from repro.hecbench import Suite
 from repro.pipeline import BaselinePreparer, PipelineConfig
+from repro.telemetry import (
+    TraceWriter,
+    get_logger,
+    install_sigterm_handler,
+    record_run,
+    trace_path_for,
+)
 from repro.toolchain import Executor
+
+logger = get_logger("experiments.parallel")
 
 #: Upper bound on pool workers, derived from the machine: thread workers
 #: are latency-bound (LLM round-trips) so modest oversubscription helps,
@@ -92,11 +101,16 @@ def _init_process_worker(
     profile: str,
     seed: int,
     suite: Suite,
+    trace: bool = False,
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = runner_class(
-        config=config, profile=profile, seed=seed, suite=suite
+        config=config, profile=profile, seed=seed, suite=suite, trace=trace
     )
+    if trace:
+        # A reaped worker (SIGTERM from a shard manager) dumps its flight
+        # ring before dying, so the shard is debuggable from artifacts.
+        install_sigterm_handler()
 
 
 def _run_scenario_in_worker(scenario_dict: Dict[str, str]) -> dict:
@@ -131,10 +145,11 @@ class ParallelExperimentRunner(ExperimentRunner):
         baselines: Optional[BaselinePreparer] = None,
         suite: Union[str, Suite, None] = None,
         backend: str = "thread",
+        trace: bool = False,
     ) -> None:
         super().__init__(
             config=config, profile=profile, seed=seed, executor=executor,
-            baselines=baselines, suite=suite,
+            baselines=baselines, suite=suite, trace=trace,
         )
         if backend not in BACKENDS:
             raise ValueError(
@@ -186,22 +201,38 @@ class ParallelExperimentRunner(ExperimentRunner):
                     continue
             pending.append(i)
 
-        if pending:
-            if self.backend == "process":
-                self._run_pool(
-                    self._process_pool(len(pending)),
-                    scenarios, pending, results,
-                    session, progress, fingerprint,
+        trace_writer: Optional[TraceWriter] = None
+        if self.trace and session is not None:
+            # The timing sidecar rides next to the session log; the
+            # session JSONL itself stays byte-deterministic.
+            trace_writer = TraceWriter(
+                trace_path_for(session.path), resume=session.resume
+            )
+
+        try:
+            if pending:
+                logger.debug(
+                    "running %d scenario(s) on the %s backend (jobs=%d)",
+                    len(pending), self.backend, self.jobs,
                 )
-            else:
-                self._run_pool(
-                    ThreadPoolExecutor(
-                        max_workers=min(self.jobs, len(pending)),
-                        thread_name_prefix="repro-grid",
-                    ),
-                    scenarios, pending, results,
-                    session, progress, fingerprint,
-                )
+                if self.backend == "process":
+                    self._run_pool(
+                        self._process_pool(len(pending)),
+                        scenarios, pending, results,
+                        session, progress, fingerprint, trace_writer,
+                    )
+                else:
+                    self._run_pool(
+                        ThreadPoolExecutor(
+                            max_workers=min(self.jobs, len(pending)),
+                            thread_name_prefix="repro-grid",
+                        ),
+                        scenarios, pending, results,
+                        session, progress, fingerprint, trace_writer,
+                    )
+        finally:
+            if trace_writer is not None:
+                trace_writer.close()
 
         return list(results)
 
@@ -217,7 +248,10 @@ class ParallelExperimentRunner(ExperimentRunner):
         return ProcessPoolExecutor(
             max_workers=min(self.jobs, pending_count),
             initializer=_init_process_worker,
-            initargs=(type(self), self.config, self.profile, self.seed, self.suite),
+            initargs=(
+                type(self), self.config, self.profile, self.seed,
+                self.suite, self.trace,
+            ),
         )
 
     def _run_pool(
@@ -229,6 +263,7 @@ class ParallelExperimentRunner(ExperimentRunner):
         session: Optional[RunSession],
         progress: Optional[callable],
         fingerprint: str,
+        trace_writer: Optional[TraceWriter] = None,
     ) -> None:
         """Execute ``pending`` on ``pool``, streaming results as they land.
 
@@ -264,7 +299,26 @@ class ParallelExperimentRunner(ExperimentRunner):
                         # accounting (executed vs replayed) correct here.
                         with self._counter_lock:
                             self.pipeline_runs += 1
+                        if self.trace:
+                            # Worker registries die with the pool: fold the
+                            # shipped telemetry into the parent's metrics so
+                            # every run counts exactly once either way.
+                            record_run(
+                                str(res.result.status),
+                                res.result.self_corrections,
+                                len(res.result.attempts),
+                                res.result.spans,
+                            )
                     results[i] = res
+                    if trace_writer is not None and res.result.spans:
+                        trace_writer.write_trace(
+                            {
+                                "model": res.scenario.model_key,
+                                "direction": res.scenario.direction,
+                                "app": res.scenario.app_name,
+                            },
+                            res.result.spans,
+                        )
                     if self.cache is not None:
                         self.cache.put(res, self.profile, self.seed, fingerprint)
                     if session is not None:

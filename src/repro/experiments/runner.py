@@ -22,6 +22,7 @@ from repro.metrics.aggregate import ScenarioMetrics
 from repro.minilang.source import Dialect
 from repro.pipeline import BaselinePreparer, PipelineConfig, build_pipeline
 from repro.pipeline.results import LassiResult
+from repro.telemetry import SpanTracer, get_flight_recorder, record_run
 from repro.toolchain import Executor
 from repro.utils.rng import derive_seed
 
@@ -95,6 +96,7 @@ class ExperimentRunner:
         executor: Optional[Executor] = None,
         baselines: Optional[BaselinePreparer] = None,
         suite: Union[str, Suite, None] = None,
+        trace: bool = False,
     ) -> None:
         if profile not in ("paper", "stochastic"):
             raise ValueError(f"unknown profile {profile!r}")
@@ -111,6 +113,11 @@ class ExperimentRunner:
         #: not counted) — campaign cache tests assert on this.
         self.pipeline_runs = 0
         self._counter_lock = threading.Lock()
+        #: Telemetry switch: when on, every executed scenario is traced
+        #: (a :class:`~repro.telemetry.SpanTracer` + the process flight
+        #: recorder ride the pipeline's event bus) and its spans land on
+        #: ``result.spans``.  Off by default — the bookkeeping budget.
+        self.trace = trace
 
     @property
     def config_fingerprint(self) -> str:
@@ -168,6 +175,13 @@ class ExperimentRunner:
             plan=plan,
             seed=llm_seed,
         )
+        tracer: Optional[SpanTracer] = None
+        subscribers = []
+        if self.trace:
+            tracer = SpanTracer()
+            recorder = get_flight_recorder()
+            recorder.set_context(scenario=scenario.to_dict())
+            subscribers = [tracer, recorder]
         # Each scenario assembles its own stage graph (cheap: the stages
         # are thin objects over the shared executor/baseline services).
         pipeline = build_pipeline(
@@ -177,14 +191,29 @@ class ExperimentRunner:
             config=self.config,
             executor=self.executor,
             baseline_preparer=self.baselines,
+            subscribers=subscribers,
         )
-        result = pipeline.run(
-            app.source(source_dialect),
-            reference_target_code=app.source(target_dialect),
-            args=app.args,
-            work_scale=app.work_scale,
-            launch_scale=app.launch_scale,
-        )
+        try:
+            result = pipeline.run(
+                app.source(source_dialect),
+                reference_target_code=app.source(target_dialect),
+                args=app.args,
+                work_scale=app.work_scale,
+                launch_scale=app.launch_scale,
+            )
+        except Exception as exc:
+            if self.trace:
+                # A dead worker must be debuggable from artifacts alone.
+                get_flight_recorder().dump("pipeline-exception", exc)
+            raise
+        if tracer is not None:
+            result.spans = tracer.drain()
+            record_run(
+                str(result.status),
+                result.self_corrections,
+                len(result.attempts),
+                result.spans,
+            )
         return ScenarioResult(scenario=scenario, result=result)
 
     # ------------------------------------------------------------------

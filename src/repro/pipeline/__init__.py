@@ -32,9 +32,14 @@ from repro.pipeline.config import PipelineConfig
 from repro.pipeline.engine import PipelineBuilder, StagePipeline, build_pipeline
 from repro.pipeline.events import (
     AttemptRecorded,
+    CompileFinished,
     CorrectionIssued,
     EventBus,
+    ExecutionFinished,
+    LlmCallFinished,
     PipelineEvent,
+    PipelineFinished,
+    PipelineStarted,
     StageFinished,
     StageStarted,
 )
@@ -48,14 +53,19 @@ __all__ = [
     "AttemptRecorded",
     "Baseline",
     "BaselinePreparer",
+    "CompileFinished",
     "CorrectionIssued",
     "EventBus",
+    "ExecutionFinished",
     "LassiPipeline",
     "LassiResult",
+    "LlmCallFinished",
     "PipelineBuilder",
     "PipelineConfig",
     "PipelineContext",
     "PipelineEvent",
+    "PipelineFinished",
+    "PipelineStarted",
     "Stage",
     "StageFinished",
     "StageOutcome",

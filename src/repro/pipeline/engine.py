@@ -27,6 +27,8 @@ from repro.pipeline.config import PipelineConfig
 from repro.pipeline.events import (
     EventBus,
     PipelineEvent,
+    PipelineFinished,
+    PipelineStarted,
     StageFinished,
     StageStarted,
     Subscriber,
@@ -125,6 +127,13 @@ class StagePipeline:
                 )
 
         unsubscribe = self.events.subscribe(collect_timing)
+        self.events.publish(PipelineStarted(
+            model=self.llm.name,
+            source_dialect=self.source_dialect.value,
+            target_dialect=self.target_dialect.value,
+        ))
+        run_start = time.perf_counter()
+        failed = True
         try:
             i = 0
             while i < len(self.stages):
@@ -157,7 +166,12 @@ class StagePipeline:
                     i = self._index[target]
                 else:
                     i += 1
+            failed = False
         finally:
+            self.events.publish(PipelineFinished(
+                status="error" if failed else str(result.status),
+                seconds=time.perf_counter() - run_start,
+            ))
             unsubscribe()
         return result
 

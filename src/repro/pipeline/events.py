@@ -18,14 +18,37 @@ not a pipeline outcome, and silently swallowing it would hide the bug.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, Iterator, List
 
 
 class PipelineEvent:
     """Base class for everything published on the :class:`EventBus`."""
 
     __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PipelineStarted(PipelineEvent):
+    """A pipeline run is beginning (published before the first stage)."""
+
+    model: str
+    source_dialect: str
+    target_dialect: str
+
+
+@dataclass(frozen=True)
+class PipelineFinished(PipelineEvent):
+    """The run ended — normally or by an escaping exception.
+
+    ``status`` is the result's terminal status string, or ``"error"``
+    when a stage raised (the exception propagates after this event);
+    ``seconds`` is the whole run's wall-clock time.
+    """
+
+    status: str
+    seconds: float
 
 
 @dataclass(frozen=True)
@@ -73,6 +96,54 @@ class AttemptRecorded(PipelineEvent):
     kind: str
 
 
+@dataclass(frozen=True)
+class LlmCallFinished(PipelineEvent):
+    """One LLM round-trip completed.
+
+    ``purpose`` is ``"generate"``, ``"compile-correction"`` or
+    ``"execute-correction"``; token counts come from the client's
+    :class:`~repro.llm.base.GenerationResult`.
+    """
+
+    stage: str
+    purpose: str
+    model: str
+    seconds: float
+    prompt_tokens: int
+    completion_tokens: int
+
+
+@dataclass(frozen=True)
+class CompileFinished(PipelineEvent):
+    """One compiler invocation returned.
+
+    ``cached`` reports whether the process-wide compile memo served the
+    result (derived from its hit counter around the call — exact in the
+    single-pipeline-per-thread model the bus assumes).
+    """
+
+    stage: str
+    ok: bool
+    seconds: float
+    cached: bool
+
+
+@dataclass(frozen=True)
+class ExecutionFinished(PipelineEvent):
+    """One simulated program execution returned.
+
+    ``steps`` / ``launches`` are the interpreter step count and kernel
+    launch count the run consumed — the step-budget accounting surfaced
+    as telemetry.
+    """
+
+    stage: str
+    ok: bool
+    seconds: float
+    steps: int
+    launches: int
+
+
 Subscriber = Callable[[PipelineEvent], None]
 
 
@@ -98,6 +169,33 @@ class EventBus:
                 pass  # already unsubscribed
 
         return unsubscribe
+
+    def unsubscribe(self, callback: Subscriber) -> bool:
+        """Detach ``callback`` by identity; ``False`` if not subscribed.
+
+        Complements the closure :meth:`subscribe` returns for callers
+        holding the original callable rather than the closure (tracer
+        attach/detach across pipeline reuse).
+        """
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            return False
+        return True
+
+    @contextmanager
+    def subscribed(self, callback: Subscriber) -> Iterator[Subscriber]:
+        """Attach ``callback`` for the duration of a ``with`` block.
+
+        Guarantees temporary subscribers — progress displays, test
+        tracers — cannot leak across pipeline reuse even when the body
+        raises.
+        """
+        detach = self.subscribe(callback)
+        try:
+            yield callback
+        finally:
+            detach()
 
     def publish(self, event: PipelineEvent) -> None:
         for callback in list(self._subscribers):

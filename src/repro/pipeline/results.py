@@ -97,6 +97,11 @@ class LassiResult:
     #: Wall-clock seconds per stage name, accumulated over re-entries
     #: (telemetry — excluded from equality and default serialization).
     stage_seconds: Dict[str, float] = field(default_factory=dict, compare=False)
+    #: Serialized telemetry spans from a :class:`~repro.telemetry.spans.
+    #: SpanTracer`, when the run was traced (telemetry — same exclusions
+    #: as ``stage_seconds``; this is how process-backend workers ship
+    #: their spans to the parent).
+    spans: List[Dict[str, Any]] = field(default_factory=list, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -135,6 +140,8 @@ class LassiResult:
         }
         if include_timings:
             data["stage_seconds"] = dict(self.stage_seconds)
+            if self.spans:
+                data["spans"] = [dict(s) for s in self.spans]
         return data
 
     @classmethod
@@ -156,4 +163,5 @@ class LassiResult:
             verified=data.get("verified", False),
             failure_detail=data.get("failure_detail", ""),
             stage_seconds=dict(data.get("stage_seconds", {})),
+            spans=[dict(s) for s in data.get("spans", [])],
         )

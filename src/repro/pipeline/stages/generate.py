@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from repro.llm.base import ChatMessage, LLMClient
 from repro.minilang.source import Dialect
+from repro.pipeline.events import LlmCallFinished
 from repro.pipeline.stages.base import PipelineContext, StageOutcome
 from repro.utils.text import extract_code_block
 
@@ -41,10 +43,19 @@ class Generate:
     def run(self, ctx: PipelineContext) -> StageOutcome:
         bundle = ctx.bundle
         assert bundle is not None, "Generate requires ContextPrep's bundle"
+        start = time.perf_counter()
         response = self.llm.chat([
             ChatMessage("system", bundle.system),
             ChatMessage("user", bundle.full_user_prompt),
         ])
+        ctx.events.publish(LlmCallFinished(
+            stage=self.name,
+            purpose="generate",
+            model=response.model,
+            seconds=time.perf_counter() - start,
+            prompt_tokens=response.prompt_tokens,
+            completion_tokens=response.completion_tokens,
+        ))
         ctx.code = extract_target_code(response.text, self.target_dialect)
         return StageOutcome.proceed()
 

@@ -21,17 +21,24 @@ code re-extraction) and one corrections budget carried on the
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
-from repro.llm.base import LLMClient
+from repro.llm.base import GenerationResult, LLMClient
 from repro.minilang.source import Dialect
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.events import AttemptRecorded, CorrectionIssued
+from repro.pipeline.events import (
+    AttemptRecorded,
+    CompileFinished,
+    CorrectionIssued,
+    ExecutionFinished,
+    LlmCallFinished,
+)
 from repro.pipeline.results import Attempt, Status
 from repro.pipeline.stages.base import PipelineContext, StageOutcome
 from repro.pipeline.stages.generate import extract_target_code
 from repro.prompts.builder import PromptBuilder
-from repro.toolchain.compiler import CompilerDriver
+from repro.toolchain.compiler import CompilerDriver, compile_cache_stats
 from repro.toolchain.executor import Executor
 
 
@@ -47,6 +54,9 @@ class SelfCorrector:
         self.llm = llm
         self.prompt_builder = prompt_builder
         self.target_dialect = target_dialect
+        #: Telemetry hook: the loop stages read the round-trip's token
+        #: counts and model name off this after each :meth:`correct`.
+        self.last_response: Optional[GenerationResult] = None
 
     def correct(
         self, kind: str, code: str, command: str, stderr: str
@@ -55,7 +65,27 @@ class SelfCorrector:
             self.llm, kind, code, command, stderr
         )
         response = self.llm.chat(messages)
+        self.last_response = response
         return extract_target_code(response.text, self.target_dialect)
+
+
+def _publish_correction_call(
+    ctx: PipelineContext,
+    stage: str,
+    purpose: str,
+    corrector: SelfCorrector,
+    seconds: float,
+) -> None:
+    """Emit the telemetry event for a just-finished correction round-trip."""
+    response = corrector.last_response
+    ctx.events.publish(LlmCallFinished(
+        stage=stage,
+        purpose=purpose,
+        model=response.model if response is not None else corrector.llm.name,
+        seconds=seconds,
+        prompt_tokens=response.prompt_tokens if response is not None else 0,
+        completion_tokens=response.completion_tokens if response is not None else 0,
+    ))
 
 
 class CompileCorrectLoop:
@@ -103,7 +133,15 @@ class CompileCorrectLoop:
                 result.failure_detail = "response contained no code block"
                 return StageOutcome.halt()
 
+            hits_before = compile_cache_stats().get("hits", 0)
+            compile_start = time.perf_counter()
             compile_result = self.compiler.compile(code)
+            ctx.events.publish(CompileFinished(
+                stage=self.name,
+                ok=compile_result.ok,
+                seconds=time.perf_counter() - compile_start,
+                cached=compile_cache_stats().get("hits", 0) > hits_before,
+            ))
             attempt.compiled = compile_result.ok
             if compile_result.ok:
                 ctx.compile_result = compile_result
@@ -119,9 +157,14 @@ class CompileCorrectLoop:
                 result.self_corrections = ctx.corrections
                 return StageOutcome.halt()
 
+            correct_start = time.perf_counter()
             ctx.code = self.corrector.correct(
                 "compile", code, compile_result.command,
                 compile_result.stderr,
+            )
+            _publish_correction_call(
+                ctx, self.name, "compile-correction", self.corrector,
+                time.perf_counter() - correct_start,
             )
             ctx.corrections += 1
             ctx.attempt_kind = "compile-correction"
@@ -171,10 +214,19 @@ class ExecuteCorrectLoop:
         )
         assert code is not None
 
+        exec_start = time.perf_counter()
         execution = self.executor.run(
             compile_result.program, self.target_dialect, ctx.args,
             work_scale=ctx.work_scale, launch_scale=ctx.launch_scale,
         )
+        profile = execution.profile
+        ctx.events.publish(ExecutionFinished(
+            stage=self.name,
+            ok=execution.ok,
+            seconds=time.perf_counter() - exec_start,
+            steps=execution.steps_used,
+            launches=profile.total_kernel_launches if profile is not None else 0,
+        ))
         attempt.executed = execution.ok
         if execution.ok:
             ctx.execution = execution
@@ -192,8 +244,13 @@ class ExecuteCorrectLoop:
             result.self_corrections = ctx.corrections
             return StageOutcome.halt()
 
+        correct_start = time.perf_counter()
         ctx.code = self.corrector.correct(
             "execute", code, compile_result.command, execution.stderr
+        )
+        _publish_correction_call(
+            ctx, self.name, "execute-correction", self.corrector,
+            time.perf_counter() - correct_start,
         )
         ctx.corrections += 1
         ctx.attempt_kind = "execute-correction"

@@ -1,0 +1,83 @@
+"""Unified telemetry: tracing spans, a metrics registry, a flight
+recorder, and the ``repro.*`` logging namespace.
+
+The layer rides on the typed pipeline event bus — a
+:class:`~repro.telemetry.spans.SpanTracer` is just another subscriber —
+and keeps telemetry strictly out of the science artifacts: session JSONL
+stays byte-deterministic, while timing-shaped data lands in a
+``.trace.jsonl`` sidecar (see :mod:`repro.telemetry.tracefile`).
+
+This package imports nothing from the rest of :mod:`repro` except its
+own modules, so any layer can depend on it without cycles.
+"""
+
+from repro.telemetry.log import configure as configure_logging
+from repro.telemetry.log import get_logger
+from repro.telemetry.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    diff_snapshots,
+    gauge,
+    histogram,
+    merge_snapshots,
+    record_run,
+    register_provider,
+    snapshot,
+)
+from repro.telemetry.recorder import (
+    FlightRecorder,
+    configure_flight_recorder,
+    get_flight_recorder,
+    install_sigterm_handler,
+)
+from repro.telemetry.spans import Span, SpanTracer
+from repro.telemetry.tracefile import (
+    TRACE_FORMAT_VERSION,
+    TraceWriter,
+    load_trace_file,
+    merge_trace_files,
+    trace_path_for,
+)
+from repro.telemetry.summary import (
+    collect_trace_paths,
+    render_trace_show,
+    render_trace_summary,
+    summarize_traces,
+)
+
+__all__ = [
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "SpanTracer",
+    "TRACE_FORMAT_VERSION",
+    "TraceWriter",
+    "collect_trace_paths",
+    "configure_flight_recorder",
+    "configure_logging",
+    "counter",
+    "diff_snapshots",
+    "gauge",
+    "get_flight_recorder",
+    "get_logger",
+    "histogram",
+    "install_sigterm_handler",
+    "load_trace_file",
+    "merge_snapshots",
+    "merge_trace_files",
+    "record_run",
+    "register_provider",
+    "render_trace_show",
+    "render_trace_summary",
+    "snapshot",
+    "summarize_traces",
+    "trace_path_for",
+]

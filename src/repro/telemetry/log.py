@@ -1,0 +1,59 @@
+"""The ``repro.*`` logging namespace.
+
+Library code gets its logger from :func:`get_logger` and never calls
+``print`` for progress output; the CLI calls :func:`configure` once at
+startup (honouring ``--log-level``), so library consumers can silence or
+capture everything through standard :mod:`logging` machinery.
+
+The handler format is the bare message — CI smoke jobs grep stderr for
+exact lines like ``0 pipeline run(s) executed``, and tests assert on the
+text — and the handler's stream is re-bound to the *current*
+``sys.stderr`` on every :func:`configure` call so pytest's capsys sees
+the output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["NAMESPACE", "configure", "get_logger"]
+
+NAMESPACE = "repro"
+
+_HANDLER: Optional[logging.StreamHandler] = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("cli")`` →
+    ``repro.cli``; the empty string names the root of the namespace)."""
+    return logging.getLogger(f"{NAMESPACE}.{name}" if name else NAMESPACE)
+
+
+def configure(level: str = "info") -> logging.Logger:
+    """Idempotently wire the namespace to stderr at ``level``.
+
+    Repeat calls re-use (and re-point) the one handler instead of
+    stacking duplicates, and always rebind it to the current
+    ``sys.stderr`` — tests swap that object per-test.
+    """
+    global _HANDLER
+    root = get_logger()
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    if _HANDLER is None or _HANDLER not in root.handlers:
+        _HANDLER = logging.StreamHandler(sys.stderr)
+        _HANDLER.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(_HANDLER)
+    # Rebind by assignment, not setStream(): the latter flushes the old
+    # stream first, which raises when a test harness already closed it.
+    _HANDLER.acquire()
+    try:
+        _HANDLER.stream = sys.stderr
+    finally:
+        _HANDLER.release()
+    root.setLevel(numeric)
+    root.propagate = False
+    return root

@@ -1,0 +1,410 @@
+"""Named metrics: counters, gauges and histograms with labeled series.
+
+One process-wide :class:`MetricsRegistry` (module-level :data:`REGISTRY`,
+reachable through the ``counter`` / ``gauge`` / ``histogram`` module
+functions) absorbs the counters that used to live scattered across the
+codebase — compile-cache hits, cache-store hit/miss/corrupt tallies,
+corrections issued, attempts recorded, interpreter steps and kernel
+launches — behind one API, so sessions, campaign manifests and the
+``BENCH_*.json`` artifacts can all report the same numbers.
+
+Two acquisition paths feed the registry:
+
+* **recorded runs** — :func:`record_run` folds one pipeline run's status,
+  correction/attempt counts and span telemetry into the registry.  It is
+  called by the experiment runners in whichever process *writes the
+  artifacts* (the parent, for the process backend), so shipped worker
+  telemetry is counted exactly once;
+* **providers** — :func:`register_provider` registers a callable polled at
+  :func:`snapshot` time.  The compile cache and the pluggable cache
+  stores register providers on import, so their live counters appear in
+  every snapshot without instrumenting their hot paths.
+
+Snapshots are plain JSON-able dicts.  :func:`diff_snapshots` yields the
+delta between two snapshots (what one cell or one session contributed);
+:func:`merge_snapshots` fuses deltas from campaign shards back into one.
+
+This module deliberately imports nothing from the rest of the package, so
+any layer may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "diff_snapshots",
+    "merge_snapshots",
+    "record_run",
+    "register_provider",
+    "reset",
+    "snapshot",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured; callers may
+#: pass their own).  The trailing +inf bucket is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+Labels = Mapping[str, Any]
+Snapshot = Dict[str, Any]
+
+
+def _series_key(name: str, labels: Labels) -> str:
+    """Render ``name{k=v,...}`` with sorted label keys (stable identity)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing set of labeled series."""
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({value})")
+        self._registry._add_counter(_series_key(self.name, labels), value)
+
+    def value(self, **labels: Any) -> float:
+        return self._registry._counters.get(_series_key(self.name, labels), 0.0)
+
+
+class Gauge:
+    """A last-write-wins set of labeled series."""
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._registry._set_gauge(_series_key(self.name, labels), float(value))
+
+    def value(self, **labels: Any) -> Optional[float]:
+        return self._registry._gauges.get(_series_key(self.name, labels))
+
+
+class Histogram:
+    """Bucketed distribution per labeled series (count/sum/min/max/buckets)."""
+
+    def __init__(
+        self,
+        name: str,
+        registry: "MetricsRegistry",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self._registry = registry
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self._registry._observe(
+            _series_key(self.name, labels), self.buckets, float(value)
+        )
+
+    def series(self, **labels: Any) -> Optional[Dict[str, Any]]:
+        return self._registry._histograms.get(_series_key(self.name, labels))
+
+
+class MetricsRegistry:
+    """Thread-safe home of every named metric in one process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, Any]] = {}
+        self._hist_buckets: Dict[str, Tuple[float, ...]] = {}
+        self._providers: Dict[str, Callable[[], Mapping[str, float]]] = {}
+
+    # -- instrument construction (cheap facades over the shared maps) ---
+    def counter(self, name: str) -> Counter:
+        return Counter(name, self)
+
+    def gauge(self, name: str) -> Gauge:
+        return Gauge(name, self)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return Histogram(name, self, buckets=buckets)
+
+    # -- raw mutation (called by the instruments) ------------------------
+    def _add_counter(self, key: str, value: float) -> None:
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def _set_gauge(self, key: str, value: float) -> None:
+        with self._lock:
+            self._gauges[key] = value
+
+    def _observe(
+        self, key: str, buckets: Tuple[float, ...], value: float
+    ) -> None:
+        with self._lock:
+            series = self._histograms.get(key)
+            if series is None:
+                series = {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": value,
+                    "max": value,
+                    "buckets": list(buckets),
+                    "counts": [0] * (len(buckets) + 1),
+                }
+                self._histograms[key] = series
+            series["count"] += 1
+            series["sum"] += value
+            series["min"] = min(series["min"], value)
+            series["max"] = max(series["max"], value)
+            for i, bound in enumerate(series["buckets"]):
+                if value <= bound:
+                    series["counts"][i] += 1
+                    break
+            else:
+                series["counts"][-1] += 1
+
+    # -- providers -------------------------------------------------------
+    def register_provider(
+        self, name: str, fn: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Register ``fn`` to be polled at snapshot time.
+
+        Its ``{key: number}`` result lands in the snapshot's gauges as
+        ``<name>.<key>``.  Re-registering a name replaces the provider
+        (module reloads in tests).
+        """
+        with self._lock:
+            self._providers[name] = fn
+
+    # -- snapshots -------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """Everything the registry knows, as one JSON-able dict."""
+        with self._lock:
+            out: Snapshot = {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    key: {
+                        "count": s["count"],
+                        "sum": s["sum"],
+                        "min": s["min"],
+                        "max": s["max"],
+                        "buckets": list(s["buckets"]),
+                        "counts": list(s["counts"]),
+                    }
+                    for key, s in self._histograms.items()
+                },
+            }
+            providers = list(self._providers.items())
+        for name, fn in providers:
+            try:
+                polled = fn()
+            except Exception:  # a broken provider must not break snapshots
+                continue
+            for key, value in polled.items():
+                if isinstance(value, (int, float)):
+                    out["gauges"][f"{name}.{key}"] = float(value)
+        return out
+
+    def reset(self) -> None:
+        """Drop every series (providers stay registered)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry the module-level helpers operate on.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+    return REGISTRY.histogram(name, buckets=buckets)
+
+
+def register_provider(name: str, fn: Callable[[], Mapping[str, float]]) -> None:
+    REGISTRY.register_provider(name, fn)
+
+
+def snapshot() -> Snapshot:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()
+
+
+# ----------------------------------------------------------------------
+def _diff_histogram(
+    after: Dict[str, Any], before: Optional[Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    if before is None:
+        return {
+            "count": after["count"],
+            "sum": after["sum"],
+            "min": after["min"],
+            "max": after["max"],
+            "buckets": list(after["buckets"]),
+            "counts": list(after["counts"]),
+        }
+    count = after["count"] - before["count"]
+    if count <= 0:
+        return None
+    return {
+        "count": count,
+        "sum": after["sum"] - before["sum"],
+        # min/max are not differentiable; report the after-window extremes
+        # (a superset of the delta window — documented approximation).
+        "min": after["min"],
+        "max": after["max"],
+        "buckets": list(after["buckets"]),
+        "counts": [
+            a - b for a, b in zip(after["counts"], before["counts"])
+        ],
+    }
+
+
+def diff_snapshots(before: Snapshot, after: Snapshot) -> Snapshot:
+    """What happened between two snapshots of the same registry.
+
+    Counters and histogram counts subtract; gauges (including provider
+    values) take the ``after`` value — they are levels, not flows.
+    Series absent from ``before`` count in full.
+    """
+    counters: Dict[str, float] = {}
+    for key, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(key, 0.0)
+        if delta:
+            counters[key] = delta
+    histograms: Dict[str, Any] = {}
+    for key, series in after.get("histograms", {}).items():
+        diffed = _diff_histogram(series, before.get("histograms", {}).get(key))
+        if diffed is not None:
+            histograms[key] = diffed
+    return {
+        "counters": counters,
+        "gauges": dict(after.get("gauges", {})),
+        "histograms": histograms,
+    }
+
+
+def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
+    """Fuse per-shard snapshot deltas into one (counters/histograms sum)."""
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0.0) + value
+        # Last shard wins for gauges — they are levels; shards sharing a
+        # store report the same level anyway.
+        gauges.update(snap.get("gauges", {}))
+        for key, series in snap.get("histograms", {}).items():
+            into = histograms.get(key)
+            if into is None:
+                histograms[key] = {
+                    "count": series["count"],
+                    "sum": series["sum"],
+                    "min": series["min"],
+                    "max": series["max"],
+                    "buckets": list(series["buckets"]),
+                    "counts": list(series["counts"]),
+                }
+                continue
+            if into["buckets"] != list(series["buckets"]):
+                # Incompatible bucketing (version skew): keep totals honest.
+                into["count"] += series["count"]
+                into["sum"] += series["sum"]
+            else:
+                into["count"] += series["count"]
+                into["sum"] += series["sum"]
+                into["counts"] = [
+                    a + b for a, b in zip(into["counts"], series["counts"])
+                ]
+            into["min"] = min(into["min"], series["min"])
+            into["max"] = max(into["max"], series["max"])
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+# ----------------------------------------------------------------------
+#: Buckets for LLM call latency (modelled round-trips are ~seconds).
+LLM_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def record_run(
+    status: str,
+    corrections: int,
+    attempts: int,
+    spans: Sequence[Mapping[str, Any]] = (),
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Fold one pipeline run's telemetry into the registry.
+
+    Called once per executed scenario by whichever process writes the
+    artifacts — the grid runner itself on the thread backend, the parent
+    after deserializing the worker payload on the process backend — so
+    the registry counts each run exactly once regardless of backend.
+    ``spans`` is the run's span-dict list (see
+    :mod:`repro.telemetry.spans`); LLM latency, compile-cache traffic and
+    interpreter work are derived from it.
+    """
+    reg = registry if registry is not None else REGISTRY
+    reg.counter("pipeline.runs").inc(status=status)
+    if corrections:
+        reg.counter("pipeline.corrections").inc(corrections)
+    if attempts:
+        reg.counter("pipeline.attempts").inc(attempts)
+    llm_seconds = reg.histogram("llm.seconds", buckets=LLM_LATENCY_BUCKETS)
+    stage_seconds = reg.histogram("stage.seconds")
+    for span in spans:
+        kind = span.get("kind")
+        attrs = span.get("attrs") or {}
+        wall = float(span.get("wall") or 0.0)
+        if kind == "llm":
+            reg.counter("llm.calls").inc(purpose=attrs.get("purpose", "?"))
+            llm_seconds.observe(wall)
+            reg.counter("llm.prompt_tokens").inc(
+                float(attrs.get("prompt_tokens") or 0)
+            )
+            reg.counter("llm.completion_tokens").inc(
+                float(attrs.get("completion_tokens") or 0)
+            )
+        elif kind == "compile":
+            reg.counter("compile.calls").inc(
+                cached=str(bool(attrs.get("cached"))).lower()
+            )
+        elif kind == "exec":
+            reg.counter("exec.runs").inc(ok=str(bool(attrs.get("ok"))).lower())
+            reg.counter("interp.launches").inc(
+                float(attrs.get("launches") or 0)
+            )
+            reg.counter("interp.steps").inc(float(attrs.get("steps") or 0))
+        elif kind == "stage":
+            stage_seconds.observe(wall, stage=span.get("name", "?"))

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.minilang import analyze, parse
+from repro.telemetry import metrics as _telemetry_metrics
 from repro.minilang.ast import Program
 from repro.minilang.diagnostics import DiagnosticBag, Severity
 from repro.minilang.source import Dialect, SourceFile
@@ -195,6 +196,12 @@ _COMPILE_CACHE = CompileCache()
 def compile_cache_stats() -> Dict[str, float]:
     """Hit/miss counters of the process-wide compile cache."""
     return _COMPILE_CACHE.stats()
+
+
+# Polled into metrics snapshots as ``compile_cache.*`` gauges — whichever
+# cache is installed (a campaign's persistent one inside
+# :func:`compile_cache_scope`, the plain memo otherwise).
+_telemetry_metrics.register_provider("compile_cache", compile_cache_stats)
 
 
 def clear_compile_cache() -> None:

@@ -33,6 +33,8 @@ class ExecutionResult:
     profile: Optional[ExecutionProfile] = None
     breakdown: Optional[TimeBreakdown] = None
     args: List[str] = field(default_factory=list)
+    #: Interpreter steps consumed out of the step budget (telemetry).
+    steps_used: int = 0
 
 
 class Executor:
@@ -77,4 +79,5 @@ class Executor:
             profile=outcome.profile,
             breakdown=breakdown,
             args=list(args or []),
+            steps_used=outcome.steps_used,
         )

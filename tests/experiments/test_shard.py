@@ -302,3 +302,78 @@ class TestSharedStoreReplay:
         persisted = store.stat()["namespaces"]
         assert persisted.get(COMPILE_NAMESPACE, 0) > 0
         assert persisted.get("results", 0) == 4
+
+
+class TestTracedShardMerge:
+    """PR-7 acceptance: a sharded campaign with a shared cache store and
+    tracing yields per-shard trace sidecars that merge fuses into one
+    queryable trace per cell, whose numbers agree with the manifest."""
+
+    def test_traced_shards_fuse_into_canonical_traces(self, tmp_path):
+        from repro.telemetry import (
+            collect_trace_paths,
+            summarize_traces,
+            trace_path_for,
+        )
+
+        uri = f"sqlite:{tmp_path / 'store.db'}"
+        _run_sharded(tmp_path, 2, cache_store=uri, trace=True)
+        campaign_dir = tmp_path / "mini"
+
+        # Before the merge: per-shard sidecars only.
+        shard_traces = sorted(
+            p.name for p in (campaign_dir / "sessions").glob("*.trace.jsonl")
+        )
+        assert shard_traces == [
+            "baseline-seed2024.shard-0-of-2.trace.jsonl",
+            "baseline-seed2024.shard-1-of-2.trace.jsonl",
+            "no-knowledge-seed2024.shard-0-of-2.trace.jsonl",
+            "no-knowledge-seed2024.shard-1-of-2.trace.jsonl",
+        ]
+
+        merge_manifests(campaign_dir)
+        manifest = json.loads((campaign_dir / MANIFEST_NAME).read_text())
+
+        # The merge fused every cell's shards into a canonical sidecar...
+        for cell in manifest["cells"]:
+            assert trace_path_for(campaign_dir / cell["session"]).exists()
+        paths = collect_trace_paths(campaign_dir)
+        assert all(".shard-" not in p.name for p in paths)
+
+        # ...and the fused trace agrees with the manifest's telemetry.
+        summary = summarize_traces(paths)
+        assert summary["traces"] == 4  # 2 cells x 2 scenarios, all traced
+        telemetry = manifest["telemetry"]
+
+        def executed(counters):
+            return {
+                key: value for key, value in counters.items()
+                if not key.startswith(("cache_store.", "compile_cache."))
+            }
+
+        assert executed(summary["metrics"]["counters"]) == executed(
+            telemetry["counters"]
+        )
+        run_total = sum(
+            value for key, value in telemetry["counters"].items()
+            if key.startswith("pipeline.runs")
+        )
+        assert run_total == 4
+        assert summary["compile"]["calls"] >= 4
+        assert summary["llm"]["calls"] >= 4
+
+    def test_manifest_telemetry_is_stripped_by_normalize(self, tmp_path):
+        CampaignRunner(_spec(), root=tmp_path, trace=True).run()
+        manifest = json.loads(
+            (tmp_path / "mini" / MANIFEST_NAME).read_text()
+        )
+        assert "telemetry" in manifest
+        assert "telemetry" not in normalize_manifest(manifest)
+
+    def test_untraced_campaign_writes_no_telemetry(self, tmp_path):
+        CampaignRunner(_spec(), root=tmp_path).run()
+        manifest = json.loads(
+            (tmp_path / "mini" / MANIFEST_NAME).read_text()
+        )
+        assert "telemetry" not in manifest
+        assert not list((tmp_path / "mini" / "sessions").glob("*.trace.jsonl"))

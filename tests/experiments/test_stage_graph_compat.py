@@ -52,6 +52,26 @@ class TestPreRedesignByteIdentity:
             "sequence drifted"
         )
 
+    def test_tracing_does_not_perturb_the_golden_session_bytes(self, tmp_path):
+        path = tmp_path / "traced.jsonl"
+        runner = ParallelExperimentRunner(
+            jobs=1, session=RunSession(path), trace=True
+        )
+        runner.run(**GOLDEN_SLICE)
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        assert digest == GOLDEN_SESSION_SHA256, (
+            "telemetry leaked into the science artifact: the traced "
+            "session JSONL must be byte-identical to an untraced one"
+        )
+        # The timing-shaped data all went to the sidecar instead.
+        from repro.telemetry import load_trace_file, trace_path_for
+
+        sidecar = trace_path_for(path)
+        assert sidecar.exists()
+        data = load_trace_file(sidecar)
+        assert len(data["traces"]) == 12
+        assert data["metrics"]["counters"]
+
 
 class TestTimingTelemetryTransport:
     def test_thread_backend_results_carry_stage_seconds(self):
@@ -78,6 +98,53 @@ class TestTimingTelemetryTransport:
                 record = json.loads(line)
                 if record.get("type") == "scenario":
                     assert "stage_seconds" not in record["result"]
+
+    def test_traced_results_round_trip_byte_deterministically(self):
+        import json
+
+        results = ParallelExperimentRunner(jobs=1, trace=True).run(**SMALL)
+        for sr in results:
+            assert sr.result.spans, "traced run produced no spans"
+            payload = sr.to_dict(include_timings=True)
+            wire = json.dumps(payload, sort_keys=True)
+            # The worker→parent transport: dict → JSON → dict → object →
+            # dict must reproduce the exact bytes, spans included.
+            rebuilt = type(sr).from_dict(json.loads(wire))
+            assert rebuilt.result.spans == sr.result.spans
+            assert json.dumps(
+                rebuilt.to_dict(include_timings=True), sort_keys=True
+            ) == wire
+
+    def test_process_backend_ships_spans_and_writes_the_sidecar(
+        self, tmp_path
+    ):
+        from repro.telemetry import load_trace_file, trace_path_for
+
+        path = tmp_path / "proc.jsonl"
+        runner = ParallelExperimentRunner(
+            jobs=2, backend="process", session=RunSession(path), trace=True
+        )
+        results = runner.run(**SMALL)
+        for sr in results:
+            assert sr.result.spans, "worker spans not shipped to the parent"
+            kinds = {s["kind"] for s in sr.result.spans}
+            assert "pipeline" in kinds and "stage" in kinds
+        data = load_trace_file(trace_path_for(path))
+        assert len(data["traces"]) == len(results)
+        runs = [
+            (key, value)
+            for key, value in data["metrics"]["counters"].items()
+            if key.startswith("pipeline.runs")
+        ]
+        # The parent folds shipped worker telemetry into its registry
+        # exactly once per executed scenario.
+        assert sum(value for _, value in runs) == len(results)
+
+    def test_untraced_runs_carry_no_spans(self):
+        results = ParallelExperimentRunner(jobs=1).run(**SMALL)
+        for sr in results:
+            assert sr.result.spans == []
+            assert "spans" not in sr.to_dict(include_timings=True)
 
     def test_cache_replays_without_timings_but_identical_results(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -117,6 +117,35 @@ class TestEventBus:
         bus.publish(StageStarted(stage="y"))
         assert [e.stage for e in seen] == ["x"]
 
+    def test_unsubscribe_by_callback_identity(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish(StageStarted(stage="x"))
+        assert bus.unsubscribe(seen.append) is True
+        assert bus.unsubscribe(seen.append) is False  # already gone
+        bus.publish(StageStarted(stage="y"))
+        assert [e.stage for e in seen] == ["x"]
+
+    def test_subscribed_context_manager_detaches_on_exit(self):
+        bus = EventBus()
+        seen = []
+        record = seen.append
+        with bus.subscribed(record) as callback:
+            assert callback is record
+            bus.publish(StageStarted(stage="inside"))
+        bus.publish(StageStarted(stage="outside"))
+        assert [e.stage for e in seen] == ["inside"]
+
+    def test_subscribed_detaches_when_the_body_raises(self):
+        bus = EventBus()
+        seen = []
+        with pytest.raises(RuntimeError):
+            with bus.subscribed(seen.append):
+                raise RuntimeError("boom")
+        bus.publish(StageStarted(stage="after"))
+        assert seen == []
+
 
 class TestStageTimings:
     def test_success_populates_every_stage(self):

@@ -1,0 +1,189 @@
+"""Unit tests for the metrics registry and snapshot algebra."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    diff_snapshots,
+    merge_snapshots,
+    record_run,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_per_label_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("pipeline.runs")
+        c.inc(status="success")
+        c.inc(status="success")
+        c.inc(status="no-code")
+        assert c.value(status="success") == 2
+        assert c.value(status="no-code") == 1
+        assert c.value(status="compile-failed") == 0
+
+    def test_counter_rejects_negative_increments(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_label_keys_are_sorted_into_a_stable_series_name(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(b=2, a=1)
+        reg.counter("c").inc(a=1, b=2)
+        assert reg.snapshot()["counters"] == {"c{a=1,b=2}": 2.0}
+
+    def test_gauge_is_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("cache.entries")
+        assert g.value() is None
+        g.set(3)
+        g.set(7)
+        assert g.value() == 7.0
+
+    def test_histogram_buckets_and_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 2.0):
+            h.observe(v)
+        series = h.series()
+        assert series["count"] == 4
+        assert series["min"] == 0.05 and series["max"] == 2.0
+        assert series["counts"] == [1, 2, 1]  # <=0.1, <=1.0, +inf
+        assert series["sum"] == pytest.approx(3.05)
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestSnapshots:
+    def test_snapshot_is_json_able_and_detached(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(0.2)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        reg.counter("c").inc()
+        assert snap["counters"]["c"] == 1.0  # copy, not a live view
+
+    def test_providers_land_in_gauges_namespaced(self):
+        reg = MetricsRegistry()
+        reg.register_provider("compile_cache", lambda: {"hits": 3, "rate": 0.5})
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["compile_cache.hits"] == 3.0
+        assert gauges["compile_cache.rate"] == 0.5
+
+    def test_broken_provider_does_not_break_snapshots(self):
+        reg = MetricsRegistry()
+        reg.register_provider("bad", lambda: 1 / 0)
+        reg.register_provider("good", lambda: {"x": 1})
+        assert reg.snapshot()["gauges"] == {"good.x": 1.0}
+
+    def test_non_numeric_provider_values_are_dropped(self):
+        reg = MetricsRegistry()
+        reg.register_provider("p", lambda: {"n": 1, "path": "/tmp/x"})
+        assert reg.snapshot()["gauges"] == {"p.n": 1.0}
+
+    def test_reset_clears_series_but_keeps_providers(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.register_provider("p", lambda: {"x": 9})
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {"p.x": 9.0}
+
+
+class TestSnapshotAlgebra:
+    def test_diff_subtracts_counters_and_keeps_after_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(1)
+        before = reg.snapshot()
+        reg.counter("c").inc(2)
+        reg.counter("new").inc()
+        reg.gauge("g").set(10)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["counters"] == {"c": 2.0, "new": 1.0}
+        assert delta["gauges"]["g"] == 10.0
+
+    def test_diff_subtracts_histogram_counts(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        before = reg.snapshot()
+        reg.histogram("h", buckets=(1.0,)).observe(2.0)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["counts"] == [0, 1]
+
+    def test_diff_drops_unchanged_series(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(0.1)
+        snap = reg.snapshot()
+        delta = diff_snapshots(snap, reg.snapshot())
+        assert delta["counters"] == {} and delta["histograms"] == {}
+
+    def test_merge_sums_counters_and_histograms(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((reg_a, 1), (reg_b, 2)):
+            reg.counter("c").inc(n)
+            for _ in range(n):
+                reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        merged = merge_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+        assert merged["counters"]["c"] == 3.0
+        assert merged["histograms"]["h"]["count"] == 3
+        assert merged["histograms"]["h"]["counts"] == [3, 0]
+
+    def test_merge_tolerates_junk_entries(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        merged = merge_snapshots([None, "nope", reg.snapshot()])
+        assert merged["counters"] == {"c": 1.0}
+
+
+class TestRecordRun:
+    SPANS = [
+        {"id": 0, "name": "pipeline", "kind": "pipeline", "start": 0.0,
+         "wall": 1.0, "attrs": {"status": "success"}},
+        {"id": 1, "name": "generate", "kind": "stage", "start": 0.0,
+         "wall": 0.4, "parent": 0, "attrs": {"outcome": "proceed"}},
+        {"id": 2, "name": "generate", "kind": "llm", "start": 0.0,
+         "wall": 0.3, "parent": 1,
+         "attrs": {"purpose": "generate", "prompt_tokens": 100,
+                   "completion_tokens": 40}},
+        {"id": 3, "name": "compile", "kind": "compile", "start": 0.5,
+         "wall": 0.01, "parent": 1, "attrs": {"ok": True, "cached": True}},
+        {"id": 4, "name": "execute", "kind": "exec", "start": 0.6,
+         "wall": 0.2, "parent": 1,
+         "attrs": {"ok": True, "steps": 50, "launches": 2}},
+    ]
+
+    def test_record_run_derives_counters_from_spans(self):
+        reg = MetricsRegistry()
+        record_run("success", 2, 3, self.SPANS, registry=reg)
+        counters = reg.snapshot()["counters"]
+        assert counters["pipeline.runs{status=success}"] == 1.0
+        assert counters["pipeline.corrections"] == 2.0
+        assert counters["pipeline.attempts"] == 3.0
+        assert counters["llm.calls{purpose=generate}"] == 1.0
+        assert counters["llm.prompt_tokens"] == 100.0
+        assert counters["llm.completion_tokens"] == 40.0
+        assert counters["compile.calls{cached=true}"] == 1.0
+        assert counters["exec.runs{ok=true}"] == 1.0
+        assert counters["interp.steps"] == 50.0
+        assert counters["interp.launches"] == 2.0
+        hists = reg.snapshot()["histograms"]
+        assert hists["llm.seconds"]["count"] == 1
+        assert hists["stage.seconds{stage=generate}"]["count"] == 1
+
+    def test_record_run_without_spans_counts_the_status_only(self):
+        reg = MetricsRegistry()
+        record_run("no-code", 0, 0, registry=reg)
+        assert reg.snapshot()["counters"] == {
+            "pipeline.runs{status=no-code}": 1.0
+        }

@@ -464,3 +464,124 @@ class TestCacheCli:
     def test_bad_store_uri_exits_2(self, capsys):
         assert main(["cache", "stat", "redis:nope"]) == 2
         assert "unknown cache-store scheme" in capsys.readouterr().err
+
+
+class TestTraceCli:
+    ARGS = ["evaluate", "--models", "gpt4", "--apps", "layout", "bsearch",
+            "--direction", "omp2cuda"]
+
+    def _traced_session(self, tmp_path):
+        session = tmp_path / "sess.jsonl"
+        assert main(self.ARGS + ["--session", str(session), "--trace"]) == 0
+        return session
+
+    def test_evaluate_trace_writes_a_sidecar(self, capsys, tmp_path):
+        session = self._traced_session(tmp_path)
+        capsys.readouterr()
+        sidecar = tmp_path / "sess.trace.jsonl"
+        assert sidecar.exists()
+        records = [json.loads(line) for line in
+                   sidecar.read_text().splitlines()]
+        assert records[0]["record"] == "header"
+        assert sum(1 for r in records if r["record"] == "trace") == 2
+
+    def test_trace_summarize_a_session(self, capsys, tmp_path):
+        session = self._traced_session(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(session)]) == 0
+        out = capsys.readouterr().out
+        assert "2 trace(s)" in out
+        assert "Per-stage latency" in out
+        assert "generate" in out and "p90" in out
+        assert "LLM calls: 2" in out
+        assert "gpt4/omp2cuda" in out
+
+    def test_trace_show_renders_span_trees(self, capsys, tmp_path):
+        session = self._traced_session(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "show", str(session), "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace 0" in out
+        assert "(pipeline)" in out and "(stage)" in out
+        assert "truncated" in out
+
+    def test_trace_summarize_untraced_session_is_an_error(self, capsys,
+                                                          tmp_path):
+        session = tmp_path / "plain.jsonl"
+        assert main(self.ARGS + ["--session", str(session)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(session)]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_trace_summarize_missing_target_is_an_error(self, capsys,
+                                                        tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_tracing_keeps_the_session_bytes_identical(self, capsys,
+                                                       tmp_path):
+        plain = tmp_path / "plain.jsonl"
+        traced = tmp_path / "traced.jsonl"
+        assert main(self.ARGS + ["--session", str(plain)]) == 0
+        assert main(self.ARGS + ["--session", str(traced), "--trace"]) == 0
+        capsys.readouterr()
+        assert plain.read_bytes() == traced.read_bytes()
+
+
+class TestLogLevelCli:
+    def test_log_level_debug_surfaces_backend_chatter(self, capsys):
+        assert main(["--log-level", "debug", "evaluate", "--models", "gpt4",
+                     "--apps", "layout", "--direction", "omp2cuda"]) == 0
+        assert "backend (jobs=1)" in capsys.readouterr().err
+
+    def test_default_level_hides_debug_chatter(self, capsys):
+        assert main(["evaluate", "--models", "gpt4", "--apps", "layout",
+                     "--direction", "omp2cuda"]) == 0
+        assert "backend (jobs=" not in capsys.readouterr().err
+
+    def test_log_level_error_silences_progress(self, capsys):
+        assert main(["--log-level", "error", "evaluate", "--models", "gpt4",
+                     "--apps", "layout", "--direction", "omp2cuda",
+                     "--verbose"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_unknown_level_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "shout", "models"])
+
+
+class TestCampaignTelemetryCli:
+    def _spec_file(self, tmp_path):
+        spec = {
+            "name": "tele-mini",
+            "models": ["gpt4"],
+            "directions": ["omp2cuda"],
+            "apps": ["layout"],
+            "variants": [{"name": "baseline"}],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_traced_campaign_report_with_telemetry(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        root = str(tmp_path / "campaigns")
+        assert main(["campaign", "run", "--spec", spec, "--dir", root,
+                     "--trace"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "tele-mini", "--dir", root,
+                     "--with-telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry (manifest metrics snapshot)" in out
+        assert "pipeline.runs{status=" in out
+        assert "Per-stage latency" in out  # the sidecar summary rode along
+
+    def test_untraced_campaign_report_with_telemetry_hints(self, capsys,
+                                                           tmp_path):
+        spec = self._spec_file(tmp_path)
+        root = str(tmp_path / "campaigns")
+        assert main(["campaign", "run", "--spec", spec, "--dir", root]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "tele-mini", "--dir", root,
+                     "--with-telemetry"]) == 0
+        assert "re-run the campaign with --trace" in capsys.readouterr().out
