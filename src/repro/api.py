@@ -31,7 +31,7 @@ still works and now exposes the same event bus).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.campaign import (
@@ -45,18 +45,28 @@ from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.store import CacheStore, open_store
 from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
 from repro.experiments.session import RunSession
-from repro.hecbench import AppSpec, Suite, get_app
+from repro.hecbench import AppSpec, Suite, all_apps, get_app
+from repro.minilang.source import Dialect
+from repro.pipeline.baseline import BaselinePreparer
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.engine import build_pipeline
 from repro.pipeline.results import LassiResult
+from repro.telemetry.profile import profile_from_execution, regression_gate
+from repro.telemetry.summary import (
+    collect_trace_paths,
+    critical_path_report,
+)
 from repro.toolchain import Executor
 
 __all__ = [
     "build_campaign",
     "build_pipeline",
+    "critical_path",
     "evaluate",
     "merge_campaign",
     "open_cache_store",
+    "perf_regress",
+    "profile_baselines",
     "run_campaign",
     "translate",
 ]
@@ -201,6 +211,75 @@ def run_campaign(
         spec, root=root, jobs=jobs, backend=backend, executor=executor,
         log=log, cache_store=cache_store, shard=shard, trace=trace,
     ).run(progress=progress)
+
+
+def profile_baselines(
+    apps: Optional[Sequence[Union[str, AppSpec]]] = None,
+    dialects: Sequence[str] = ("cuda", "omp"),
+    suite: Union[str, Suite, None] = None,
+    executor: Optional[Executor] = None,
+) -> Dict[str, Any]:
+    """Deterministic runtime profiles of the suite's *original* programs.
+
+    Compiles and executes each application's source in each requested
+    dialect (exactly the §III-A baseline preparation) and condenses every
+    run into a :class:`~repro.telemetry.profile.RuntimeProfile`.  The
+    interpreter is deterministic, so the returned snapshot —
+    ``{"profiles": {"<app>/<dialect>": {...}}}`` — is byte-stable across
+    processes and machines and can be committed as a perf baseline for
+    ``repro perf regress``.
+    """
+    specs = [
+        a if isinstance(a, AppSpec) else get_app(a, suite=suite)
+        for a in (apps if apps is not None else all_apps(suite))
+    ]
+    preparer = BaselinePreparer(executor=executor)
+    profiles: Dict[str, Any] = {}
+    for spec in specs:
+        for name in dialects:
+            dialect = Dialect(name)
+            baseline = preparer.prepare(
+                spec.source(dialect),
+                dialect,
+                args=spec.args,
+                work_scale=spec.work_scale,
+                launch_scale=spec.launch_scale,
+            )
+            runtime = profile_from_execution(baseline.execution)
+            if runtime is not None:
+                profiles[f"{spec.name}/{dialect.value}"] = runtime.to_dict()
+    return {"profiles": profiles}
+
+
+def perf_regress(
+    baseline: Union[str, Path],
+    current: Union[str, Path],
+    tolerance: Optional[float] = None,
+) -> Tuple[Dict[str, Any], bool]:
+    """Diff two profile snapshots; returns ``(report, ok)``.
+
+    ``baseline`` / ``current`` may each be a ``BENCH_*.json`` artifact
+    with a ``"profiles"`` block, a campaign ``manifest.json`` (per-cell
+    ``perf`` summaries), or a bare snapshot written by
+    :func:`profile_baselines`.  ``ok`` is False when any counter
+    regressed beyond ``tolerance`` (default 10%, or
+    ``REPRO_PERF_TOLERANCE``) or when coverage shrank — the CI gate
+    turns that into a non-zero exit.
+    """
+    return regression_gate(baseline, current, tolerance)
+
+
+def critical_path(target: Union[str, Path]) -> Dict[str, Any]:
+    """Critical-path attribution over a trace file or campaign directory.
+
+    ``target`` is a ``.trace.jsonl`` file, a session file with a trace
+    sidecar, or a campaign directory (canonical and shard sidecars are
+    discovered the same way ``repro trace summarize`` does).  Returns
+    the :func:`~repro.telemetry.summary.critical_path_report` dict:
+    per-trace dominant buckets, aggregate dominant counts, and mean
+    wall-share per bucket (llm / compile / exec / overhead).
+    """
+    return critical_path_report(collect_trace_paths(target))
 
 
 def merge_campaign(directory: Union[str, Path]) -> CampaignResult:

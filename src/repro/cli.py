@@ -12,8 +12,13 @@ deliverables:
   campaign and ``merge`` fuses the slices;
 * ``cache``     — inspect / warm / garbage-collect pluggable cache
   stores (``dir:<path>`` or ``sqlite:<path>`` URIs);
-* ``trace``     — summarize / show ``.trace.jsonl`` telemetry sidecars
-  written by ``evaluate --trace`` and ``campaign run --trace``;
+* ``trace``     — summarize / show / critical-path ``.trace.jsonl``
+  telemetry sidecars written by ``evaluate --trace`` and
+  ``campaign run --trace``;
+* ``perf``      — deterministic runtime profiles and the perf-regression
+  gate (``profile`` builds a committable baseline snapshot, ``compare``
+  diffs two snapshots informationally, ``regress`` exits non-zero on
+  regression — the CI gate);
 * ``synth``     — generate / list / self-check synthetic app suites;
 * ``apps`` / ``models`` — list a suite and the model registry.
 
@@ -38,7 +43,11 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import api
-from repro.errors import UnknownApplicationError, UnknownSuiteError
+from repro.errors import (
+    BaselineError,
+    UnknownApplicationError,
+    UnknownSuiteError,
+)
 from repro.experiments import (
     CacheStoreError,
     CampaignError,
@@ -66,10 +75,13 @@ from repro.telemetry import (
     collect_trace_paths,
     configure_logging,
     get_logger,
+    render_critical_path,
+    render_profile_diff,
     render_trace_show,
     render_trace_summary,
     summarize_traces,
 )
+from repro.telemetry.profile import DEFAULT_TOLERANCE, TOLERANCE_ENV
 
 DEFAULT_PROFILE = "paper"
 DEFAULT_SEED = 2024
@@ -372,6 +384,50 @@ def _render_telemetry_block(telemetry: dict) -> str:
     return "\n".join(lines)
 
 
+def _stage_attribution_warnings(manifest: dict, summary: dict) -> List[str]:
+    """Warn-only cross-check of the two stage-time attributions.
+
+    Both the manifest and the trace sidecars attribute wall time to
+    pipeline stages, from different vantage points.  The manifest's
+    per-cell ``stage_seconds`` (summed per stage across cells here) is
+    **authoritative for totals**: it merges prior entries on resume, so
+    it covers every pipeline this directory ever executed.  Trace
+    sidecars are **authoritative for percentiles**: they keep every raw
+    span, which per-cell sums cannot reconstruct.  On a fresh traced run
+    the totals agree to float/rounding noise; a larger divergence means
+    the two views describe different run sets (a resume whose earlier
+    trace sidecars were pruned, or traces copied from another host), so
+    say so instead of silently presenting both.
+    """
+    manifest_totals: dict = {}
+    for cell in manifest.get("cells", []):
+        if not isinstance(cell, dict):
+            continue
+        for stage, secs in (cell.get("stage_seconds") or {}).items():
+            manifest_totals[stage] = (
+                manifest_totals.get(stage, 0.0) + float(secs)
+            )
+    trace_totals = {
+        name: float(stats.get("total", 0.0))
+        for name, stats in (summary.get("stages") or {}).items()
+    }
+    warnings: List[str] = []
+    for stage in sorted(set(manifest_totals) | set(trace_totals)):
+        m = manifest_totals.get(stage, 0.0)
+        t = trace_totals.get(stage, 0.0)
+        # stage_seconds is rounded to 6dp per cell before summing; allow
+        # that plus a sliver of relative slack before calling it real.
+        if abs(m - t) > max(1e-4, 1e-3 * max(abs(m), abs(t))):
+            warnings.append(
+                f"warning: stage '{stage}' wall-time attribution "
+                f"diverges: manifest stage_seconds sum {m:.4f}s vs trace "
+                f"spans {t:.4f}s — the views cover different run sets "
+                f"(manifest is authoritative for totals, traces for "
+                f"percentiles)"
+            )
+    return warnings
+
+
 def _cmd_campaign_report(args) -> int:
     directory = Path(args.dir) / args.name if args.name else Path(args.dir)
     try:
@@ -392,9 +448,13 @@ def _cmd_campaign_report(args) -> int:
             print("\n" + _render_telemetry_block(telemetry))
             try:
                 paths = collect_trace_paths(directory)
-                print("\n" + render_trace_summary(summarize_traces(paths)))
+                summary = summarize_traces(paths)
             except (OSError, json.JSONDecodeError):
                 pass  # metrics without trace sidecars is still a report
+            else:
+                print("\n" + render_trace_summary(summary))
+                for line in _stage_attribution_warnings(manifest, summary):
+                    print(line, file=sys.stderr)
     return 0
 
 
@@ -440,6 +500,71 @@ def _cmd_trace_show(args) -> int:
         return 2
     print(rendered)
     return 0
+
+
+def _cmd_trace_critical_path(args) -> int:
+    try:
+        report = api.critical_path(args.target)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_critical_path(report, top=args.top))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _cmd_perf_profile(args) -> int:
+    try:
+        snap = api.profile_baselines(
+            apps=args.apps or None,
+            dialects=tuple(args.dialects.split(",")),
+            suite=args.suite,
+        )
+    except (BaselineError, UnknownApplicationError, UnknownSuiteError,
+            ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(snap, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        logger.info("wrote %d profile(s) to %s",
+                    len(snap["profiles"]), args.out)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _perf_diff(args):
+    """Shared load+diff for ``perf compare`` / ``perf regress``."""
+    try:
+        report, ok = api.perf_regress(
+            args.baseline, args.current, tolerance=args.tolerance
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, False
+    if getattr(args, "json_out", None):
+        Path(args.json_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return report, ok
+
+
+def _cmd_perf_compare(args) -> int:
+    report, _ok = _perf_diff(args)
+    if report is None:
+        return 2
+    print(render_profile_diff(report))
+    return 0
+
+
+def _cmd_perf_regress(args) -> int:
+    report, ok = _perf_diff(args)
+    if report is None:
+        return 2
+    print(render_profile_diff(report))
+    return 0 if ok else 1
 
 
 def _synth_suite_from_args(args):
@@ -735,6 +860,69 @@ def build_parser() -> argparse.ArgumentParser:
     tsh.add_argument("--limit", type=int, default=0, metavar="N",
                      help="stop after N traces (default: 0 = all)")
     tsh.set_defaults(func=_cmd_trace_show)
+
+    tcp = tcsub.add_parser(
+        "critical-path",
+        help="attribute each trace's wall time to its dominant bucket "
+             "(llm / compile / exec / overhead) and aggregate",
+    )
+    tcp.add_argument("target", help=target_help)
+    tcp.add_argument("--top", type=_positive_int, default=5, metavar="N",
+                     help="how many slowest traces to detail (default: 5)")
+    tcp.set_defaults(func=_cmd_trace_critical_path)
+
+    pf = sub.add_parser(
+        "perf",
+        help="deterministic runtime profiles and the perf-regression gate",
+    )
+    pfsub = pf.add_subparsers(dest="perf_command", required=True)
+    snapshot_help = (
+        "a profile snapshot: BENCH_*.json with a 'profiles' block, a "
+        "campaign manifest.json (per-cell perf summaries), or a bare "
+        "snapshot from 'perf profile --out'"
+    )
+
+    pp = pfsub.add_parser(
+        "profile",
+        help="compile+run suite baselines and emit their deterministic "
+             "runtime profiles (byte-stable across machines)",
+    )
+    pp.add_argument("--apps", nargs="*",
+                    help="restrict to these applications "
+                         "(default: the whole suite)")
+    pp.add_argument("--suite", default=None, help=suite_help)
+    pp.add_argument("--dialects", default="cuda,omp", metavar="D1,D2",
+                    help="comma-separated dialects to profile "
+                         "(default: cuda,omp)")
+    pp.add_argument("--out", metavar="PATH",
+                    help="write the snapshot to PATH instead of stdout "
+                         "(commit it as a perf baseline)")
+    pp.set_defaults(func=_cmd_perf_profile)
+
+    def _perf_diff_args(p):
+        p.add_argument("baseline", help=f"baseline {snapshot_help}")
+        p.add_argument("current", help=f"current {snapshot_help}")
+        p.add_argument("--tolerance", type=float, default=None, metavar="T",
+                       help=f"relative regression tolerance (default: "
+                            f"${TOLERANCE_ENV} or {DEFAULT_TOLERANCE:g})")
+        p.add_argument("--json-out", metavar="PATH",
+                       help="also write the full diff report as JSON "
+                            "(CI uploads this as an artifact)")
+
+    pc = pfsub.add_parser(
+        "compare",
+        help="diff two profile snapshots informationally (always exit 0)",
+    )
+    _perf_diff_args(pc)
+    pc.set_defaults(func=_cmd_perf_compare)
+
+    pr = pfsub.add_parser(
+        "regress",
+        help="diff two profile snapshots as a gate: exit 1 when any "
+             "counter regressed beyond the tolerance or coverage shrank",
+    )
+    _perf_diff_args(pr)
+    pr.set_defaults(func=_cmd_perf_regress)
 
     sy = sub.add_parser(
         "synth", help="generate / list / self-check synthetic app suites"

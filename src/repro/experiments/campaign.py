@@ -49,6 +49,7 @@ from repro.errors import ReproError
 from repro.experiments.cache import ResultCache
 from repro.experiments.store import CacheStore, RESULTS_NAMESPACE, open_store
 from repro.metrics.aggregate import merge_stage_seconds
+from repro.metrics.runtime import speedup_distribution
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.runner import ExperimentRunner, Scenario, ScenarioResult
 from repro.experiments.session import RunSession
@@ -310,10 +311,35 @@ class CellRun:
     #: pipelines (telemetry from the event bus; replayed scenarios
     #: contribute nothing).  Persisted in the manifest, not the sessions.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Deterministic performance summary over the cell's scored results
+    #: (speedup-ratio distribution + scenario counts).  Unlike
+    #: ``stage_seconds`` it derives from session-persisted ratios, so
+    #: replayed and executed runs produce identical blocks.
+    perf: Optional[Dict[str, Any]] = None
 
     @property
     def complete(self) -> bool:
         return len(self.results) >= self.expected_scenarios
+
+
+def cell_perf_summary(results: List[ScenarioResult]) -> Dict[str, Any]:
+    """The manifest's per-cell ``perf`` block.
+
+    Built purely from session-persisted fields (success status and the
+    Ratio column), so the block is byte-identical whether the cell was
+    executed, replayed from its session, or merged from shards — which
+    is why :func:`normalize_manifest` does *not* strip it.
+    """
+    ratios = [
+        sr.result.ratio
+        for sr in results
+        if sr.result.ok and sr.result.ratio is not None
+    ]
+    return {
+        "scenarios": len(results),
+        "scored": len(ratios),
+        "speedup": speedup_distribution(ratios),
+    }
 
 
 @dataclass
@@ -634,6 +660,7 @@ class CampaignRunner:
                 expected_scenarios=self._cell_expected(cell_index),
                 pipeline_runs=runner.pipeline_runs,
                 stage_seconds=stage_seconds,
+                perf=cell_perf_summary(results),
             ))
             self._log(
                 f"variant {cell.variant.name} seed {cell.seed}: "
@@ -673,6 +700,10 @@ class CampaignRunner:
                     {k: round(v, 6) for k, v in run.stage_seconds.items()}
                     if run is not None else None
                 ),
+                # Speedup distribution over the cell's scored scenarios.
+                # Deterministic (derived from session-persisted ratios),
+                # so equality checks keep it — unlike stage_seconds.
+                "perf": run.perf if run is not None else None,
             })
         manifest: Dict[str, Any] = {
             "type": (
@@ -960,6 +991,10 @@ def merge_manifests(directory: Union[str, Path]) -> CampaignResult:
                 stage: stats.total_seconds
                 for stage, stats in merge_stage_seconds(timing_maps).items()
             },
+            # Recomputed over the full merged result list, not fused from
+            # the shards' partial blocks — identical to what an unsharded
+            # run writes (the merge gate compares it).
+            perf=cell_perf_summary(ordered_results),
         ))
 
     shard_telemetry = [
@@ -1027,6 +1062,9 @@ def load_campaign(directory: Union[str, Path]) -> CampaignResult:
             expected_scenarios=expected,
             pipeline_runs=entry.get("pipeline_runs") or 0,
             stage_seconds=dict(entry.get("stage_seconds") or {}),
+            # Recompute from the loaded results (deterministic) so reports
+            # stay consistent even against a manifest written mid-cell.
+            perf=cell_perf_summary(results) if results else entry.get("perf"),
         ))
     return CampaignResult(spec=spec, directory=directory, runs=runs)
 

@@ -6,11 +6,17 @@ several seed replicates render every metric as ``mean ±stddev`` (sample
 stddev over the per-seed aggregates); single-seed variants render the
 plain value.  Incomplete cells — a campaign killed mid-variant — are
 flagged rather than silently averaged in.
+
+The profiling layer adds two sections: per-variant speedup distributions
+(from the same session-persisted ratios the manifest's ``perf`` blocks
+summarize, so the scenario counts agree exactly) and — when the campaign
+was traced — critical-path attribution of wall time to llm / compile /
+exec / overhead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.experiments.campaign import CampaignResult, CellRun
 from repro.experiments.stats import (
@@ -20,6 +26,12 @@ from repro.experiments.stats import (
     direction_order,
     direction_stats,
     replicate_stats,
+)
+from repro.metrics.runtime import SLOW_FACTOR, speedup_distribution
+from repro.telemetry.summary import (
+    CRITICAL_PATH_BUCKETS,
+    collect_trace_paths,
+    critical_path_report,
 )
 from repro.utils.tables import render_table
 
@@ -90,10 +102,99 @@ def render_campaign_report(campaign: CampaignResult) -> str:
         lines.append("")
         lines.append(render_table(headers, rows, title=title))
 
+    speedups = render_speedup_section(campaign)
+    if speedups:
+        lines.append("")
+        lines.append(speedups)
+
+    critical = render_critical_path_section(campaign)
+    if critical:
+        lines.append("")
+        lines.append(critical)
+
     if incomplete:
         lines.append("")
         lines.append(
             "warning: incomplete cell(s), statistics may be partial: "
             + ", ".join(incomplete)
         )
+    return "\n".join(lines)
+
+
+def render_speedup_section(campaign: CampaignResult) -> Optional[str]:
+    """Per-variant speedup distributions (ref/gen ratio, > 1 = faster).
+
+    Scenario counts come from the same per-cell result lists the
+    manifest's ``perf`` blocks summarize, so both agree exactly.
+    """
+    spec = campaign.spec
+    by_variant = campaign.by_variant()
+    headers = [
+        "Variant", "Seeds", "Scenarios", "Scored",
+        "Geomean", "p50", "p95", f">={SLOW_FACTOR:g}x slower",
+    ]
+    rows: List[List[object]] = []
+    for variant in spec.variants:
+        runs = by_variant.get(variant.name, [])
+        if not runs or not any(run.results for run in runs):
+            continue
+        ratios = [
+            sr.result.ratio
+            for run in runs
+            for sr in run.results
+            if sr.result.ok and sr.result.ratio is not None
+        ]
+        scenarios = sum(len(run.results) for run in runs)
+        dist = speedup_distribution(ratios)
+        if dist is None:
+            rows.append(
+                [variant.name, len(runs), scenarios, 0, "-", "-", "-", "-"]
+            )
+        else:
+            rows.append([
+                variant.name,
+                len(runs),
+                scenarios,
+                dist["count"],
+                f"{dist['geomean']:.3f}",
+                f"{dist['p50']:.3f}",
+                f"{dist['p95']:.3f}",
+                dist["slower"],
+            ])
+    if not rows:
+        return None
+    return render_table(
+        headers, rows,
+        title=f"{spec.name}: speedup distribution (ratio = ref/gen)",
+    )
+
+
+def render_critical_path_section(campaign: CampaignResult) -> Optional[str]:
+    """Trace-derived critical-path attribution, when traces exist.
+
+    Traces cover *executed* pipelines only (replays produce none), so
+    the section states its trace count against the manifest's scenario
+    total instead of pretending they always match.
+    """
+    try:
+        paths = collect_trace_paths(campaign.directory)
+    except FileNotFoundError:
+        return None
+    report = critical_path_report(paths)
+    manifest_scenarios = sum(len(run.results) for run in campaign.runs)
+    lines = [
+        f"{campaign.spec.name}: critical path "
+        f"({report['scenarios']} traced of {manifest_scenarios} "
+        f"recorded scenario(s))"
+    ]
+    headers = ["Bucket", "Dominant in", "Mean wall share"]
+    rows: List[List[object]] = [
+        [
+            bucket,
+            report["dominant_counts"][bucket],
+            f"{report['mean_fractions'][bucket]:.1%}",
+        ]
+        for bucket in CRITICAL_PATH_BUCKETS
+    ]
+    lines.append(render_table(headers, rows))
     return "\n".join(lines)

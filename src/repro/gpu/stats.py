@@ -70,6 +70,10 @@ class KernelEvent:
     #: Parallelism cap imposed by the program (e.g. num_threads(1) / serial
     #: fallback).  None means the full launch width is available.
     parallel_limit: Optional[int] = None
+    #: Which interpreter dispatch path executed the launch: "flat" (the
+    #: barrier-free fast path), "barrier" (__syncthreads interleaving),
+    #: "slow" (nested per-thread loops), or "omp" for target regions.
+    path: str = ""
 
 
 @dataclass
@@ -98,6 +102,9 @@ class ExecutionProfile:
 
     host: OpCounters = field(default_factory=OpCounters)
     events: List[ProfileEvent] = field(default_factory=list)
+    #: Thread-rounds spent parked at a __syncthreads() barrier, summed
+    #: over every barrier-mode launch (exact dynamic count).
+    barrier_waits: int = 0
 
     @property
     def kernel_events(self) -> List[KernelEvent]:
@@ -119,6 +126,14 @@ class ExecutionProfile:
     def total_atomics(self) -> float:
         return sum(e.counters.atomics for e in self.kernel_events)
 
+    def launch_paths(self) -> dict:
+        """Launch counts per interpreter dispatch path (see KernelEvent)."""
+        counts: dict = {}
+        for e in self.kernel_events:
+            key = e.path or ("omp" if e.api == "omp" else "slow")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
     def summary(self) -> dict:
         return {
             "host_ops": self.host.ops,
@@ -127,6 +142,7 @@ class ExecutionProfile:
             "kernel_ops": sum(e.counters.ops for e in self.kernel_events),
             "kernel_mem_bytes": sum(e.counters.mem_bytes for e in self.kernel_events),
             "atomics": self.total_atomics,
+            "barrier_waits": self.barrier_waits,
             "transfers": len(self.transfer_events),
             "transfer_bytes": self.total_transfer_bytes,
         }

@@ -8,6 +8,9 @@ from typing import List, Optional
 from repro.errors import ResourceLimitExceeded
 from repro.gpu.stats import ExecutionProfile, OpCounters
 from repro.interp.memory import MemoryManager
+from repro.telemetry.log import get_logger
+
+logger = get_logger("interp")
 
 
 @dataclass(frozen=True)
@@ -65,6 +68,10 @@ class ExecContext:
     def consume_steps(self, n: int = 1) -> None:
         self.steps_left -= n
         if self.steps_left < 0:
+            logger.debug(
+                "step budget of %d exhausted — killing the guest run",
+                self.limits.max_steps,
+            )
             raise ResourceLimitExceeded(
                 "execution timed out (killed)",
                 detail=f"step budget of {self.limits.max_steps} exhausted",

@@ -498,6 +498,12 @@ class ProgramRunner:
         ctx.counters = counters
         ctx.space = "device"
         total = grid * block
+        if fc.barrier_mode:
+            path = "barrier"
+        elif not fc.has_atomics:
+            path = "flat"
+        else:
+            path = "slow"
         try:
             if fc.barrier_mode:
                 self._run_barrier_kernel(fc, body, base_env, grid, block)
@@ -522,6 +528,7 @@ class ProgramRunner:
                 block_size=block,
                 counters=counters,
                 api="cuda",
+                path=path,
             )
         )
 
@@ -630,6 +637,7 @@ class ProgramRunner:
                             f"__syncthreads()"
                         ),
                     )
+                ctx.profile.barrier_waits += len(at_barrier)
                 next_live = at_barrier
                 live = next_live
 
@@ -684,6 +692,7 @@ class ProgramRunner:
                             counters=counters,
                             api="omp",
                             parallel_limit=1,
+                            path="omp",
                         )
                     )
                     self._maps_exit(entered)
@@ -836,6 +845,7 @@ class ProgramRunner:
                     counters=counters,
                     api="omp",
                     parallel_limit=limit,
+                    path="omp",
                 )
             )
             self._maps_exit(entered)

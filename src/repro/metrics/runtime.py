@@ -1,8 +1,14 @@
-"""Runtime metrics: the Ratio column and the "within 10% or faster" test."""
+"""Runtime metrics: the Ratio column, the "within 10% or faster" test,
+and the speedup-distribution statistics the profiling layer reports."""
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from typing import Any, Dict, Optional, Sequence
+
+#: "Correct but slow" threshold: a scenario counts as slow when the
+#: generated code is at least this many times slower than the reference.
+SLOW_FACTOR = 2.0
 
 
 def runtime_ratio(reference_seconds: float, generated_seconds: float) -> Optional[float]:
@@ -22,3 +28,50 @@ def within_10pct_or_faster(ratio: Optional[float]) -> bool:
     if ratio is None:
         return False
     return ratio >= (1.0 / 1.1)
+
+
+def geomean(values: Sequence[float]) -> Optional[float]:
+    """Geometric mean of positive ratios; ``None`` on an empty input."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return None
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (len(sorted_values) - 1) * (q / 100.0)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def speedup_distribution(
+    ratios: Sequence[float], slow_factor: float = SLOW_FACTOR
+) -> Optional[Dict[str, Any]]:
+    """Distribution of speedup ratios (ref/gen, > 1 = generated faster).
+
+    Returns ``None`` when no scored ratios exist; otherwise a dict with
+    the scenario count, geomean, p50/p95 and the count of "correct but
+    >= slow_factor x slower" scenarios (``ratio <= 1/slow_factor``).
+    Values round to 6 decimals so campaign manifests stay stable.
+    """
+    scored = sorted(r for r in ratios if r is not None and r > 0)
+    if not scored:
+        return None
+    gm = geomean(scored)
+    return {
+        "count": len(scored),
+        "geomean": round(gm, 6) if gm is not None else None,
+        "p50": round(percentile(scored, 50.0), 6),
+        "p95": round(percentile(scored, 95.0), 6),
+        "min": round(scored[0], 6),
+        "max": round(scored[-1], 6),
+        "slow_factor": slow_factor,
+        "slower": sum(1 for r in scored if r <= 1.0 / slow_factor),
+    }

@@ -12,15 +12,23 @@ the engine's own per-stage timing collector all attach the same way::
     pipeline.events.subscribe(lambda e: print(e))
     pipeline.run(source_code)
 
-Subscriber exceptions propagate: a broken subscriber is library misuse,
-not a pipeline outcome, and silently swallowing it would hide the bug.
+Subscriber exceptions are contained: a broken subscriber must not turn
+an observability bug into a pipeline outcome.  :meth:`EventBus.publish`
+catches the exception, logs it at warning level with the subscriber's
+name, increments the ``telemetry_subscriber_errors`` counter, and keeps
+delivering the event to the remaining subscribers.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, List
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.telemetry.log import get_logger
+from repro.telemetry.metrics import counter as _metrics_counter
+
+_logger = get_logger("pipeline.events")
 
 
 class PipelineEvent:
@@ -134,7 +142,10 @@ class ExecutionFinished(PipelineEvent):
 
     ``steps`` / ``launches`` are the interpreter step count and kernel
     launch count the run consumed — the step-budget accounting surfaced
-    as telemetry.
+    as telemetry.  ``profile``, when present, is the execution's full
+    :class:`~repro.telemetry.profile.RuntimeProfile` as a plain dict
+    (deterministic counts: dispatch-path launches, barrier waits,
+    atomics, memory traffic, simulated seconds).
     """
 
     stage: str
@@ -142,6 +153,7 @@ class ExecutionFinished(PipelineEvent):
     seconds: float
     steps: int
     launches: int
+    profile: Optional[Dict[str, Any]] = None
 
 
 Subscriber = Callable[[PipelineEvent], None]
@@ -198,8 +210,30 @@ class EventBus:
             detach()
 
     def publish(self, event: PipelineEvent) -> None:
+        """Deliver ``event`` to every subscriber, containing their faults.
+
+        A raising subscriber is an observability bug, not a pipeline
+        outcome: the exception is logged at warning level with the
+        subscriber's name, counted on ``telemetry_subscriber_errors``,
+        and delivery continues to the remaining subscribers.
+        """
         for callback in list(self._subscribers):
-            callback(event)
+            try:
+                callback(event)
+            except Exception as exc:
+                name = getattr(
+                    callback, "__qualname__", type(callback).__name__
+                )
+                _logger.warning(
+                    "event subscriber %s raised %s: %s on %s",
+                    name,
+                    type(exc).__name__,
+                    exc,
+                    type(event).__name__,
+                )
+                _metrics_counter("telemetry_subscriber_errors").inc(
+                    subscriber=str(name)
+                )
 
     def __len__(self) -> int:
         return len(self._subscribers)

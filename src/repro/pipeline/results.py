@@ -102,6 +102,14 @@ class LassiResult:
     #: as ``stage_seconds``; this is how process-backend workers ship
     #: their spans to the parent).
     spans: List[Dict[str, Any]] = field(default_factory=list, compare=False)
+    #: Deterministic runtime-profile block from :class:`~repro.pipeline.
+    #: stages.finalize.ComputeMetrics`: the generated and reference
+    #: :class:`~repro.telemetry.profile.RuntimeProfile` dicts plus the
+    #: speedup score.  Observability, not science: excluded from equality
+    #: and from default serialization (session bytes stay pinned), but —
+    #: unlike wall-clock timings — its counts are exact, so it also rides
+    #: campaign manifests as a per-cell summary.
+    profile: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -142,6 +150,8 @@ class LassiResult:
             data["stage_seconds"] = dict(self.stage_seconds)
             if self.spans:
                 data["spans"] = [dict(s) for s in self.spans]
+            if self.profile is not None:
+                data["profile"] = dict(self.profile)
         return data
 
     @classmethod
@@ -164,4 +174,9 @@ class LassiResult:
             failure_detail=data.get("failure_detail", ""),
             stage_seconds=dict(data.get("stage_seconds", {})),
             spans=[dict(s) for s in data.get("spans", [])],
+            profile=(
+                dict(data["profile"])
+                if data.get("profile") is not None
+                else None
+            ),
         )

@@ -2,13 +2,42 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from repro.metrics.runtime import runtime_ratio
 from repro.metrics.similarity import sim_l, sim_t
 from repro.pipeline.results import Status
 from repro.pipeline.stages.base import PipelineContext, StageOutcome
 from repro.pipeline.verification import verify_output
+from repro.telemetry.profile import RuntimeProfile, profile_from_execution
+
+
+def score_profiles(
+    reference: Optional[RuntimeProfile],
+    generated: Optional[RuntimeProfile],
+) -> Optional[Dict[str, Any]]:
+    """The ``profile`` block: both runtime profiles plus the speedup score.
+
+    ``speedup`` is the paper's Ratio over the *simulated* clocks
+    (reference seconds / generated seconds, > 1 = generated faster);
+    ``step_ratio`` is the same comparison over exact interpreter steps,
+    immune to performance-model changes.  Returns ``None`` when the
+    generated run carried no interpreter profile.
+    """
+    if generated is None:
+        return None
+    block: Dict[str, Any] = {"generated": generated.to_dict()}
+    if reference is not None:
+        block["reference"] = reference.to_dict()
+        block["speedup"] = runtime_ratio(
+            reference.sim_seconds, generated.sim_seconds
+        )
+        block["step_ratio"] = (
+            round(reference.steps / generated.steps, 6)
+            if generated.steps > 0
+            else None
+        )
+    return block
 
 
 class VerifyOutput:
@@ -54,6 +83,10 @@ class ComputeMetrics:
             )
             result.sim_t = sim_t(ctx.reference.source, ctx.code)
             result.sim_l = sim_l(ctx.reference.source, ctx.code)
+            result.profile = score_profiles(
+                profile_from_execution(ctx.reference.execution),
+                profile_from_execution(execution),
+            )
         result.status = Status.SUCCESS
         return StageOutcome.halt()
 

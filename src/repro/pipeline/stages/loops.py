@@ -38,8 +38,17 @@ from repro.pipeline.results import Attempt, Status
 from repro.pipeline.stages.base import PipelineContext, StageOutcome
 from repro.pipeline.stages.generate import extract_target_code
 from repro.prompts.builder import PromptBuilder
+from repro.telemetry.profile import profile_from_execution
 from repro.toolchain.compiler import CompilerDriver, compile_cache_stats
-from repro.toolchain.executor import Executor
+from repro.toolchain.executor import Executor, ExecutionResult
+
+
+def _execution_profile_payload(execution: ExecutionResult) -> Optional[dict]:
+    """The widened ``ExecutionFinished.profile`` payload (None when no
+    interpreter profile is attached).  Module-level so the perf-profile
+    benchmark can stub it out to measure collection overhead."""
+    runtime_profile = profile_from_execution(execution)
+    return runtime_profile.to_dict() if runtime_profile is not None else None
 
 
 class SelfCorrector:
@@ -226,6 +235,7 @@ class ExecuteCorrectLoop:
             seconds=time.perf_counter() - exec_start,
             steps=execution.steps_used,
             launches=profile.total_kernel_launches if profile is not None else 0,
+            profile=_execution_profile_payload(execution),
         ))
         attempt.executed = execution.ok
         if execution.ok:

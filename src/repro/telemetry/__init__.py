@@ -34,6 +34,14 @@ from repro.telemetry.recorder import (
     get_flight_recorder,
     install_sigterm_handler,
 )
+from repro.telemetry.profile import (
+    RuntimeProfile,
+    diff_profile_snapshots,
+    load_profile_snapshot,
+    profile_from_execution,
+    regression_gate,
+    render_profile_diff,
+)
 from repro.telemetry.spans import Span, SpanTracer
 from repro.telemetry.tracefile import (
     TRACE_FORMAT_VERSION,
@@ -44,9 +52,12 @@ from repro.telemetry.tracefile import (
 )
 from repro.telemetry.summary import (
     collect_trace_paths,
+    critical_path_report,
+    render_critical_path,
     render_trace_show,
     render_trace_summary,
     summarize_traces,
+    trace_critical_path,
 )
 
 __all__ = [
@@ -56,6 +67,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "RuntimeProfile",
     "Span",
     "SpanTracer",
     "TRACE_FORMAT_VERSION",
@@ -64,20 +76,28 @@ __all__ = [
     "configure_flight_recorder",
     "configure_logging",
     "counter",
+    "critical_path_report",
+    "diff_profile_snapshots",
     "diff_snapshots",
     "gauge",
     "get_flight_recorder",
     "get_logger",
     "histogram",
     "install_sigterm_handler",
+    "load_profile_snapshot",
     "load_trace_file",
     "merge_snapshots",
     "merge_trace_files",
+    "profile_from_execution",
     "record_run",
     "register_provider",
+    "regression_gate",
+    "render_critical_path",
+    "render_profile_diff",
     "render_trace_show",
     "render_trace_summary",
     "snapshot",
     "summarize_traces",
+    "trace_critical_path",
     "trace_path_for",
 ]

@@ -406,5 +406,19 @@ def record_run(
                 float(attrs.get("launches") or 0)
             )
             reg.counter("interp.steps").inc(float(attrs.get("steps") or 0))
+            profile = attrs.get("profile")
+            if isinstance(profile, Mapping):
+                reg.counter("interp.atomics").inc(
+                    float(profile.get("atomics") or 0)
+                )
+                reg.counter("interp.barrier_waits").inc(
+                    float(profile.get("barrier_waits") or 0)
+                )
+                for path in ("flat", "barrier", "slow", "omp"):
+                    launches = float(profile.get(f"{path}_launches") or 0)
+                    if launches:
+                        reg.counter("interp.path_launches").inc(
+                            launches, path=path
+                        )
         elif kind == "stage":
             stage_seconds.observe(wall, stage=span.get("name", "?"))

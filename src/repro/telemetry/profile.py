@@ -1,0 +1,299 @@
+"""Deterministic runtime profiles and the perf-regression gate.
+
+A :class:`RuntimeProfile` is the observability-side condensation of one
+simulated execution: the interpreter's exact dynamic counts (steps
+charged, kernel launches per dispatch path, barrier waits, atomics,
+memory traffic, transfers) plus the performance model's simulated
+seconds.  Every field is an exact count or a deterministic function of
+exact counts, so the same program run in any process on any machine
+produces byte-identical profiles — :meth:`RuntimeProfile.digest` pins
+that in tests.
+
+On top of the dataclass this module implements the snapshot diffing the
+``repro perf`` CLI verbs expose: load a profile snapshot from a
+``BENCH_*.json`` artifact or a campaign manifest, compare two snapshots
+key-by-key, and decide whether the current one *regressed* beyond a
+tolerance (default 10%, overridable via ``REPRO_PERF_TOLERANCE``).
+
+Layering: like the rest of :mod:`repro.telemetry`, this module imports
+nothing from the rest of the package.  Profile extraction duck-types the
+interpreter's execution result so the interpreter stays free to evolve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Default relative tolerance for the regression gate.
+DEFAULT_TOLERANCE = 0.10
+#: Environment variable consulted when no explicit tolerance is given.
+TOLERANCE_ENV = "REPRO_PERF_TOLERANCE"
+
+
+@dataclass(frozen=True)
+class RuntimeProfile:
+    """Deterministic per-execution cost profile (exact counts, no clocks)."""
+
+    #: Interpreter steps charged against the step budget.
+    steps: int
+    #: Total kernel launches (CUDA <<<>>> plus OMP target regions).
+    kernel_launches: int
+    #: Launches through the barrier-free fast path.
+    flat_launches: int
+    #: Launches interleaved at __syncthreads granularity.
+    barrier_launches: int
+    #: Launches through the nested per-thread slow path (atomics present).
+    slow_launches: int
+    #: OpenMP target-region launches.
+    omp_launches: int
+    #: Thread-rounds spent parked at a __syncthreads barrier.
+    barrier_waits: int
+    #: Device atomic operations.
+    atomics: int
+    #: Host-side scalar operations.
+    host_ops: int
+    #: Device-side scalar operations.
+    kernel_ops: int
+    #: Bytes read (host + device loads).
+    mem_read_bytes: int
+    #: Bytes written (host + device stores).
+    mem_write_bytes: int
+    #: Host<->device transfers and their total volume.
+    transfers: int
+    transfer_bytes: int
+    #: Simulated wall-clock seconds from the performance model.
+    sim_seconds: float
+
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        return dict(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RuntimeProfile":
+        kwargs: Dict[str, Any] = {}
+        for name in cls.__dataclass_fields__:
+            value = data.get(name, 0)
+            kwargs[name] = float(value) if name == "sim_seconds" else int(value)
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Canonical byte form: sorted keys, no whitespace."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of :meth:`canonical_json` — the determinism pin."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+
+def profile_from_execution(execution: Any) -> Optional[RuntimeProfile]:
+    """Condense an execution result into a :class:`RuntimeProfile`.
+
+    ``execution`` is duck-typed against
+    :class:`repro.toolchain.executor.ExecutionResult`: it must carry an
+    interpreter ``profile`` (:class:`repro.gpu.stats.ExecutionProfile`),
+    ``steps_used`` and ``runtime_seconds``.  Returns ``None`` when no
+    interpreter profile is attached (e.g. a run that never executed).
+    """
+    prof = getattr(execution, "profile", None)
+    if prof is None:
+        return None
+    paths = prof.launch_paths()
+    kernel = prof.kernel_events
+    host = prof.host
+    load = host.load_bytes + sum(e.counters.load_bytes for e in kernel)
+    store = host.store_bytes + sum(e.counters.store_bytes for e in kernel)
+    return RuntimeProfile(
+        steps=int(getattr(execution, "steps_used", 0)),
+        kernel_launches=int(prof.total_kernel_launches),
+        flat_launches=int(paths.get("flat", 0)),
+        barrier_launches=int(paths.get("barrier", 0)),
+        slow_launches=int(paths.get("slow", 0)),
+        omp_launches=int(paths.get("omp", 0)),
+        barrier_waits=int(prof.barrier_waits),
+        atomics=int(prof.total_atomics + host.atomics),
+        host_ops=int(host.ops),
+        kernel_ops=int(sum(e.counters.ops for e in kernel)),
+        mem_read_bytes=int(load),
+        mem_write_bytes=int(store),
+        transfers=int(len(prof.transfer_events)),
+        transfer_bytes=int(prof.total_transfer_bytes),
+        sim_seconds=round(float(getattr(execution, "runtime_seconds", 0.0)), 9),
+    )
+
+
+def resolve_tolerance(explicit: Optional[float] = None) -> float:
+    """Explicit value, else ``REPRO_PERF_TOLERANCE``, else the 10% default."""
+    if explicit is not None:
+        return float(explicit)
+    env = os.environ.get(TOLERANCE_ENV)
+    if env:
+        return float(env)
+    return DEFAULT_TOLERANCE
+
+
+def _flatten(data: Dict[str, Any], prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested dict as dotted keys (bools excluded)."""
+    out: Dict[str, float] = {}
+    for key in sorted(data):
+        value = data[key]
+        dotted = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[dotted] = float(value)
+        elif isinstance(value, dict):
+            out.update(_flatten(value, prefix=f"{dotted}."))
+    return out
+
+
+def _higher_is_better(key: str) -> bool:
+    """Speedup-shaped figures improve upward; every cost counter downward."""
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf in ("slower", "slow_factor"):
+        return False
+    if "speedup" in key or leaf.endswith("ratio"):
+        return True
+    # Coverage counts: fewer scored scenarios is the regression.
+    return leaf in ("scenarios", "scored", "count")
+
+
+def load_profile_snapshot(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Read a ``name -> profile dict`` snapshot from any supported artifact.
+
+    Accepts, in order of detection:
+
+    * a ``BENCH_*.json`` artifact carrying a ``"profiles"`` mapping;
+    * a campaign ``manifest.json`` — each completed cell's ``"perf"``
+      summary keyed ``<variant>/seed<seed>``;
+    * a bare mapping of names to profile dicts;
+    * a single profile dict (keyed ``"profile"``).
+    """
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict):
+        raise ValueError(f"{path}: profile snapshot must be a JSON object")
+    profiles = raw.get("profiles")
+    if isinstance(profiles, dict):
+        return {str(k): dict(v) for k, v in profiles.items() if isinstance(v, dict)}
+    cells = raw.get("cells")
+    if isinstance(cells, list):
+        out: Dict[str, Dict[str, Any]] = {}
+        for entry in cells:
+            if not isinstance(entry, dict):
+                continue
+            prof = entry.get("perf")
+            if isinstance(prof, dict):
+                name = f"{entry.get('variant')}/seed{entry.get('seed')}"
+                out[name] = dict(prof)
+        if not out:
+            raise ValueError(
+                f"{path}: manifest has no per-cell perf summaries "
+                "(was the campaign run before the profiling layer?)"
+            )
+        return out
+    if all(isinstance(v, dict) for v in raw.values()) and raw:
+        return {str(k): dict(v) for k, v in raw.items()}
+    if "steps" in raw:
+        return {"profile": dict(raw)}
+    raise ValueError(f"{path}: unrecognized profile snapshot layout")
+
+
+def diff_profile_snapshots(
+    baseline: Dict[str, Dict[str, Any]],
+    current: Dict[str, Dict[str, Any]],
+    tolerance: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Key-by-key comparison of two snapshots with a regression verdict.
+
+    Every numeric leaf shared by a profile pair is compared.  Cost
+    counters regress when the current value exceeds baseline by more
+    than ``tolerance``; speedup-shaped figures regress when they *drop*
+    by more than ``tolerance``.  A profile present in the baseline but
+    absent from the current snapshot is a coverage regression.
+    """
+    tol = resolve_tolerance(tolerance)
+    entries: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    for name in sorted(set(baseline) & set(current)):
+        base_flat = _flatten(baseline[name])
+        curr_flat = _flatten(current[name])
+        deltas: List[Dict[str, Any]] = []
+        regressed = False
+        for key in sorted(set(base_flat) & set(curr_flat)):
+            b, c = base_flat[key], curr_flat[key]
+            ratio = (c / b) if b else None
+            if _higher_is_better(key):
+                bad = c < b * (1.0 - tol) - 1e-12
+            else:
+                bad = c > b * (1.0 + tol) + 1e-12
+            regressed = regressed or bad
+            deltas.append(
+                {
+                    "counter": key,
+                    "baseline": b,
+                    "current": c,
+                    "ratio": round(ratio, 6) if ratio is not None else None,
+                    "regressed": bad,
+                }
+            )
+        if regressed:
+            regressions.append(name)
+        entries.append({"name": name, "regressed": regressed, "deltas": deltas})
+    only_base = sorted(set(baseline) - set(current))
+    only_curr = sorted(set(current) - set(baseline))
+    return {
+        "tolerance": tol,
+        "entries": entries,
+        "only_in_baseline": only_base,
+        "only_in_current": only_curr,
+        "regressions": regressions,
+        "ok": not regressions and not only_base,
+    }
+
+
+def render_profile_diff(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`diff_profile_snapshots`."""
+    tol = report["tolerance"]
+    lines = [f"profile diff (tolerance {tol:.0%})"]
+    for entry in report["entries"]:
+        mark = "REGRESSED" if entry["regressed"] else "ok"
+        lines.append(f"  {entry['name']}: {mark}")
+        for delta in entry["deltas"]:
+            if not delta["regressed"]:
+                continue
+            ratio = delta["ratio"]
+            shown = f"{ratio:.3f}x" if ratio is not None else "n/a"
+            lines.append(
+                f"    {delta['counter']}: {delta['baseline']:g} -> "
+                f"{delta['current']:g} ({shown})"
+            )
+    if report["only_in_baseline"]:
+        lines.append(
+            "  missing from current: " + ", ".join(report["only_in_baseline"])
+        )
+    if report["only_in_current"]:
+        lines.append(
+            "  new in current: " + ", ".join(report["only_in_current"])
+        )
+    verdict = "ok" if report["ok"] else (
+        f"{len(report['regressions'])} profile(s) regressed"
+        if report["regressions"]
+        else "coverage regressed"
+    )
+    lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def regression_gate(
+    baseline_path: Union[str, Path],
+    current_path: Union[str, Path],
+    tolerance: Optional[float] = None,
+) -> Tuple[Dict[str, Any], bool]:
+    """Load two snapshots and diff them; returns ``(report, ok)``."""
+    baseline = load_profile_snapshot(baseline_path)
+    current = load_profile_snapshot(current_path)
+    report = diff_profile_snapshots(baseline, current, tolerance)
+    return report, bool(report["ok"])

@@ -181,12 +181,15 @@ class SpanTracer:
                 {"ok": event.ok, "cached": event.cached},
             )
         elif kind == "ExecutionFinished":
-            self._leaf(
-                "execute",
-                EXEC,
-                event.seconds,
-                {"ok": event.ok, "steps": event.steps, "launches": event.launches},
-            )
+            attrs = {
+                "ok": event.ok,
+                "steps": event.steps,
+                "launches": event.launches,
+            }
+            profile = getattr(event, "profile", None)
+            if profile:
+                attrs["profile"] = dict(profile)
+            self._leaf("execute", EXEC, event.seconds, attrs)
         elif kind == "PipelineFinished":
             if self._root is not None:
                 self._root.wall = event.seconds

@@ -26,10 +26,13 @@ from repro.telemetry.tracefile import (
 
 __all__ = [
     "collect_trace_paths",
+    "critical_path_report",
     "percentile",
+    "render_critical_path",
     "render_trace_show",
     "render_trace_summary",
     "summarize_traces",
+    "trace_critical_path",
 ]
 
 
@@ -207,6 +210,109 @@ def _latency_histogram(sorted_walls: Sequence[float]) -> List[Tuple[str, int]]:
             counts[-1] += 1
     labels = [f"<={b:g}s" for b in bounds] + [f">{bounds[-1]:g}s"]
     return [(label, count) for label, count in zip(labels, counts) if count]
+
+
+# ----------------------------------------------------------------------
+# Critical-path analysis: where did each scenario's wall time go?
+#: The leaf buckets a pipeline's wall time is attributed to.  "overhead"
+#: is the root wall minus every leaf wall — stage dispatch, prompt
+#: building, result bookkeeping, and (on cold runs) §III-A baseline
+#: preparation, which publishes no leaf events of its own; baselines are
+#: cached across a grid, so their cost amortizes to the first scenario.
+CRITICAL_PATH_BUCKETS = ("llm", "compile", "exec", "overhead")
+
+
+def trace_critical_path(trace: Dict[str, Any]) -> Dict[str, Any]:
+    """Attribute one trace's wall time to its dominant leaf bucket.
+
+    Walks the span tree, sums leaf walls per kind (llm / compile /
+    exec), and charges the remainder of the root pipeline span's wall to
+    ``overhead``.  The dominant bucket is the argmax; ties break in
+    :data:`CRITICAL_PATH_BUCKETS` order (deterministic).
+    """
+    walls = {bucket: 0.0 for bucket in CRITICAL_PATH_BUCKETS}
+    root_wall = 0.0
+    for span in trace.get("spans", []):
+        kind = span.get("kind")
+        wall = float(span.get("wall", 0.0))
+        if kind == "pipeline":
+            root_wall = wall
+        elif kind in ("llm", "compile", "exec"):
+            walls[kind] += wall
+    leaf_total = walls["llm"] + walls["compile"] + walls["exec"]
+    walls["overhead"] = max(0.0, root_wall - leaf_total)
+    dominant = max(CRITICAL_PATH_BUCKETS, key=lambda b: walls[b])
+    return {
+        "scenario": trace.get("scenario", {}),
+        "wall": root_wall,
+        "walls": {k: round(v, 6) for k, v in walls.items()},
+        "dominant": dominant,
+    }
+
+
+def critical_path_report(
+    paths: Sequence[Union[str, Path]]
+) -> Dict[str, Any]:
+    """Aggregate per-trace critical paths across a campaign or session.
+
+    Returns the per-bucket dominance counts, the mean wall-time fraction
+    each bucket claims, total wall time, and the per-scenario rows.  The
+    scenario count equals the number of traces — one per executed
+    pipeline run — so it can be cross-checked against a campaign
+    manifest's scenario totals.
+    """
+    rows: List[Dict[str, Any]] = []
+    for path in paths:
+        data = load_trace_file(path)
+        for trace in data["traces"]:
+            rows.append(trace_critical_path(trace))
+    dominant_counts = {bucket: 0 for bucket in CRITICAL_PATH_BUCKETS}
+    fraction_sums = {bucket: 0.0 for bucket in CRITICAL_PATH_BUCKETS}
+    total_wall = 0.0
+    fractional = 0
+    for row in rows:
+        dominant_counts[row["dominant"]] += 1
+        total_wall += row["wall"]
+        if row["wall"] > 0:
+            fractional += 1
+            for bucket in CRITICAL_PATH_BUCKETS:
+                fraction_sums[bucket] += row["walls"][bucket] / row["wall"]
+    fractions = {
+        bucket: round(fraction_sums[bucket] / fractional, 4) if fractional else 0.0
+        for bucket in CRITICAL_PATH_BUCKETS
+    }
+    return {
+        "files": [str(p) for p in paths],
+        "scenarios": len(rows),
+        "dominant_counts": dominant_counts,
+        "mean_fractions": fractions,
+        "total_wall": round(total_wall, 6),
+        "rows": rows,
+    }
+
+
+def render_critical_path(report: Dict[str, Any], top: int = 5) -> str:
+    """Human-readable rendering of :func:`critical_path_report`."""
+    lines = [
+        f"critical path over {report['scenarios']} scenario(s), "
+        f"{_fmt_s(report['total_wall'])} total wall"
+    ]
+    lines.append("")
+    lines.append("Dominant bucket (scenarios / mean wall share):")
+    for bucket in CRITICAL_PATH_BUCKETS:
+        count = report["dominant_counts"][bucket]
+        share = report["mean_fractions"][bucket]
+        lines.append(f"  {bucket:<10}{count:>6}  {share:>7.1%}")
+    rows = sorted(report["rows"], key=lambda r: r["wall"], reverse=True)
+    if rows:
+        lines.append("")
+        lines.append("Slowest scenarios:")
+        for row in rows[: max(0, top)]:
+            lines.append(
+                f"  {_fmt_s(row['wall']):>10}  dominant={row['dominant']:<9} "
+                f"{_scenario_label(row['scenario'])}"
+            )
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,9 @@ from repro.gpu.stats import ExecutionProfile
 from repro.interp import Limits, ProgramRunner
 from repro.minilang.ast import Program
 from repro.minilang.source import Dialect
+from repro.telemetry.log import get_logger
+
+logger = get_logger("toolchain")
 
 
 @dataclass
@@ -66,6 +69,16 @@ class Executor:
             stderr = outcome.error
             if outcome.error_detail:
                 stderr += f"\n[detail] {outcome.error_detail}"
+            # Why an execution was killed is invisible in the result's
+            # failure string until someone reads the session; surface the
+            # interpreter's step-budget exhaustion / guest fault on the
+            # debug log stream too (`--log-level debug`).
+            logger.debug(
+                "execution killed after %d steps: %s%s",
+                outcome.steps_used,
+                outcome.error,
+                f" ({outcome.error_detail})" if outcome.error_detail else "",
+            )
         elif outcome.exit_code != 0:
             stderr = f"process exited with non-zero status {outcome.exit_code}"
 

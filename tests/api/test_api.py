@@ -139,3 +139,42 @@ class TestCampaigns:
             (second.directory / "manifest.json").read_text(encoding="utf-8")
         )
         assert all(c["stage_seconds"] for c in manifest["cells"])
+
+
+class TestPerfApi:
+    def test_profile_baselines_snapshot_shape(self):
+        snap = api.profile_baselines(apps=["layout"])
+        assert sorted(snap["profiles"]) == ["layout/cuda", "layout/omp"]
+        for profile in snap["profiles"].values():
+            assert profile["steps"] > 0
+
+    def test_profile_baselines_is_deterministic(self):
+        a = api.profile_baselines(apps=["layout"], dialects=("cuda",))
+        b = api.profile_baselines(apps=["layout"], dialects=("cuda",))
+        assert a == b
+
+    def test_profile_baselines_accepts_appspec(self):
+        spec = get_app("bsearch")
+        snap = api.profile_baselines(apps=[spec], dialects=("omp",))
+        assert list(snap["profiles"]) == ["bsearch/omp"]
+
+    def test_perf_regress_round_trip(self, tmp_path):
+        snap = api.profile_baselines(apps=["layout"], dialects=("cuda",))
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(snap), encoding="utf-8")
+        report, ok = api.perf_regress(base, base, tolerance=0.1)
+        assert ok and not report["regressions"]
+        snap["profiles"]["layout/cuda"]["sim_seconds"] *= 2
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(snap), encoding="utf-8")
+        report, ok = api.perf_regress(base, slow, tolerance=0.1)
+        assert not ok and report["regressions"] == ["layout/cuda"]
+
+    def test_critical_path_over_a_traced_session(self, tmp_path):
+        session = RunSession(tmp_path / "sess.jsonl")
+        api.evaluate(session=session, trace=True, **SMALL)
+        report = api.critical_path(tmp_path / "sess.jsonl")
+        assert report["scenarios"] == 2
+        assert sum(report["dominant_counts"].values()) == 2
+        for row in report["rows"]:
+            assert row["dominant"] in ("llm", "compile", "exec", "overhead")

@@ -245,6 +245,36 @@ class TestCampaignExecution:
         # 2 apps x 2 dialects, built once despite 2 variants touching them.
         assert runner.baselines.compile_count == 4
 
+    def test_manifest_cells_carry_a_perf_summary(self, tmp_path):
+        CampaignRunner(_spec(), root=tmp_path).run()
+        manifest = json.loads(
+            (tmp_path / "mini" / MANIFEST_NAME).read_text()
+        )
+        for cell in manifest["cells"]:
+            perf = cell["perf"]
+            assert perf["scenarios"] == 2
+            assert 0 <= perf["scored"] <= perf["scenarios"]
+            if perf["speedup"] is not None:
+                dist = perf["speedup"]
+                assert dist["count"] == perf["scored"]
+                assert dist["p50"] >= dist["min"]
+                assert dist["p95"] <= dist["max"]
+
+    def test_perf_summary_survives_replay_byte_identically(self, tmp_path):
+        CampaignRunner(_spec(), root=tmp_path).run()
+        manifest_path = tmp_path / "mini" / MANIFEST_NAME
+        first = json.loads(manifest_path.read_text())
+        replay = CampaignRunner(_spec(), root=tmp_path).run()
+        assert replay.total_pipeline_runs == 0
+        second = json.loads(manifest_path.read_text())
+        # perf derives from session-persisted ratios, so an executed run
+        # and its replay agree exactly — unlike stage_seconds.
+        assert [c["perf"] for c in first["cells"]] == [
+            c["perf"] for c in second["cells"]
+        ]
+        from repro.experiments import normalize_manifest
+        assert "perf" in normalize_manifest(first)["cells"][0]
+
     def test_rerun_replays_everything(self, tmp_path):
         first = CampaignRunner(_spec(), root=tmp_path)
         assert first.run().total_pipeline_runs == 4

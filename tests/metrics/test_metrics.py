@@ -137,3 +137,40 @@ class TestAggregate:
         stats = aggregate([self.make(True)])
         text = "\n".join(stats.summary_lines())
         assert "successful translations: 1" in text
+
+
+class TestSpeedupDistribution:
+    def test_empty_and_unscored_return_none(self):
+        from repro.metrics.runtime import speedup_distribution
+        assert speedup_distribution([]) is None
+        assert speedup_distribution([None, 0.0, -1.0]) is None
+
+    def test_distribution_fields(self):
+        from repro.metrics.runtime import speedup_distribution
+        dist = speedup_distribution([0.4, 1.0, 2.0, 4.0])
+        assert dist["count"] == 4
+        assert dist["min"] == 0.4 and dist["max"] == 4.0
+        assert dist["p50"] == pytest.approx(1.5)
+        assert dist["geomean"] == pytest.approx((0.4 * 1.0 * 2.0 * 4.0) ** 0.25)
+        # ratio <= 1/2 counts as "correct but >= 2x slower".
+        assert dist["slower"] == 1
+        assert dist["slow_factor"] == 2.0
+
+    def test_slow_factor_is_tunable(self):
+        from repro.metrics.runtime import speedup_distribution
+        dist = speedup_distribution([0.4, 0.2, 1.0], slow_factor=4.0)
+        assert dist["slower"] == 1  # only 0.2 <= 1/4
+
+    def test_geomean_skips_nonpositive(self):
+        from repro.metrics.runtime import geomean
+        assert geomean([]) is None
+        assert geomean([0.0, -2.0]) is None
+        assert geomean([4.0, 1.0]) == pytest.approx(2.0)
+
+    def test_percentile_interpolates(self):
+        from repro.metrics.runtime import percentile
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        assert percentile([3.0], 95.0) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0

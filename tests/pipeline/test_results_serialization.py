@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.hecbench import get_app
 from repro.llm.profiles import CellPlan
 from repro.llm.simulated import SimulatedLLM
@@ -68,6 +70,54 @@ class TestLassiResultRoundTrip:
         r = LassiResult(status="no-code", source_dialect="cuda",
                         target_dialect="omp", model="deepseek")
         json.dumps(r.to_dict())  # must not raise
+
+
+class TestProfileField:
+    """The runtime-profile block is telemetry: timings-only, compare=False."""
+
+    def _result_with_profile(self):
+        app = get_app("layout")
+        llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=CellPlan())
+        pipeline = LassiPipeline(llm, Dialect.OMP, Dialect.CUDA)
+        result = pipeline.translate(
+            app.omp_source,
+            reference_target_code=app.cuda_source,
+            args=app.args,
+            work_scale=app.work_scale,
+            launch_scale=app.launch_scale,
+        )
+        assert result.ok
+        return result
+
+    def test_successful_run_scores_a_profile(self):
+        result = self._result_with_profile()
+        assert result.profile is not None
+        gen = result.profile["generated"]
+        assert gen["steps"] > 0 and gen["kernel_launches"] > 0
+        assert result.profile["reference"]["steps"] > 0
+        assert result.profile["speedup"] > 0
+
+    def test_profile_stays_out_of_session_bytes(self):
+        result = self._result_with_profile()
+        assert "profile" not in result.to_dict()
+        assert "profile" in result.to_dict(include_timings=True)
+
+    def test_profile_round_trips_under_timings(self):
+        result = self._result_with_profile()
+        data = json.loads(json.dumps(result.to_dict(include_timings=True)))
+        back = LassiResult.from_dict(data)
+        assert back.profile == result.profile
+        # compare=False: equality ignores the telemetry block either way.
+        assert back == result
+
+    def test_speedup_matches_the_ratio_column(self):
+        # Both derive from the same simulated runtimes; the profile's
+        # speedup is recomputed from 9dp-rounded sim_seconds, so they
+        # agree to float noise, not bit-exactly.
+        result = self._result_with_profile()
+        assert result.profile["speedup"] == pytest.approx(
+            result.ratio, rel=1e-6
+        )
 
 
 class TestStatusEnum:

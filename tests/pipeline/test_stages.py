@@ -146,6 +146,46 @@ class TestEventBus:
         bus.publish(StageStarted(stage="after"))
         assert seen == []
 
+    def test_poisoned_subscriber_does_not_abort_delivery(self, capsys):
+        from repro.telemetry.log import configure
+        from repro.telemetry.metrics import counter
+
+        bus = EventBus()
+        before, after = [], []
+        bus.subscribe(before.append)
+
+        def poisoned(event):
+            raise RuntimeError("telemetry bug")
+
+        bus.subscribe(poisoned)
+        bus.subscribe(after.append)
+        configure("warning")
+        errors = counter("telemetry_subscriber_errors")
+        baseline = errors.value(
+            subscriber=f"{poisoned.__qualname__}"
+        )
+        bus.publish(StageStarted(stage="x"))
+        bus.publish(StageStarted(stage="y"))
+        # Every healthy subscriber saw every event, before AND after the
+        # poisoned one in registration order.
+        assert [e.stage for e in before] == ["x", "y"]
+        assert [e.stage for e in after] == ["x", "y"]
+        # The failure is observable: a warning naming the subscriber and
+        # a labeled error counter, once per failed delivery.
+        err = capsys.readouterr().err
+        assert "poisoned" in err and "telemetry bug" in err
+        assert "StageStarted" in err
+        assert errors.value(
+            subscriber=f"{poisoned.__qualname__}"
+        ) == baseline + 2
+
+    def test_poisoned_subscriber_does_not_break_a_pipeline_run(self):
+        def poisoned(event):
+            raise RuntimeError("boom")
+
+        result = run_app(make_pipeline(subscribers=[poisoned]))
+        assert result.ok
+
 
 class TestStageTimings:
     def test_success_populates_every_stage(self):

@@ -187,3 +187,21 @@ class TestRecordRun:
         assert reg.snapshot()["counters"] == {
             "pipeline.runs{status=no-code}": 1.0
         }
+
+    def test_record_run_derives_profile_counters(self):
+        spans = [dict(s) for s in self.SPANS]
+        spans[4] = dict(spans[4], attrs={
+            "ok": True, "steps": 50, "launches": 2,
+            "profile": {"atomics": 7, "barrier_waits": 12,
+                        "flat_launches": 1, "barrier_launches": 1,
+                        "slow_launches": 0, "omp_launches": 0},
+        })
+        reg = MetricsRegistry()
+        record_run("success", 0, 0, spans, registry=reg)
+        counters = reg.snapshot()["counters"]
+        assert counters["interp.atomics"] == 7.0
+        assert counters["interp.barrier_waits"] == 12.0
+        assert counters["interp.path_launches{path=flat}"] == 1.0
+        assert counters["interp.path_launches{path=barrier}"] == 1.0
+        # Zero-launch paths emit no empty series.
+        assert "interp.path_launches{path=slow}" not in counters

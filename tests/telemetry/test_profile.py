@@ -1,0 +1,252 @@
+"""Runtime profiles: determinism pin, snapshot loading, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hecbench import get_app
+from repro.minilang.source import Dialect
+from repro.pipeline.baseline import BaselinePreparer
+from repro.telemetry.profile import (
+    DEFAULT_TOLERANCE,
+    TOLERANCE_ENV,
+    RuntimeProfile,
+    diff_profile_snapshots,
+    load_profile_snapshot,
+    profile_from_execution,
+    regression_gate,
+    render_profile_diff,
+    resolve_tolerance,
+)
+
+#: Frozen digest of the layout/CUDA baseline profile.  The interpreter,
+#: the performance model and the profile condensation are all
+#: deterministic; if this digest moves, execution cost semantics changed
+#: and every committed perf baseline (benchmarks/perf_baseline.json)
+#: must be regenerated with `repro perf profile`.
+LAYOUT_CUDA_DIGEST = (
+    "4321c2a2884a4ffce4574dc53509e485c3b30795a86502b9c95472c6a92d7e8a"
+)
+
+
+def layout_profile() -> RuntimeProfile:
+    app = get_app("layout")
+    baseline = BaselinePreparer().prepare(
+        app.cuda_source, Dialect.CUDA, args=app.args,
+        work_scale=app.work_scale, launch_scale=app.launch_scale,
+    )
+    profile = profile_from_execution(baseline.execution)
+    assert profile is not None
+    return profile
+
+
+def sample_profile(**overrides) -> dict:
+    data = dict(
+        steps=100, kernel_launches=2, flat_launches=1, barrier_launches=1,
+        slow_launches=0, omp_launches=0, barrier_waits=8, atomics=4,
+        host_ops=50, kernel_ops=200, mem_read_bytes=1024,
+        mem_write_bytes=512, transfers=2, transfer_bytes=2048,
+        sim_seconds=0.25,
+    )
+    data.update(overrides)
+    return data
+
+
+class TestRuntimeProfile:
+    def test_round_trips_through_dict(self):
+        profile = RuntimeProfile.from_dict(sample_profile())
+        assert RuntimeProfile.from_dict(profile.to_dict()) == profile
+
+    def test_missing_fields_default_to_zero(self):
+        profile = RuntimeProfile.from_dict({"steps": 7})
+        assert profile.steps == 7
+        assert profile.kernel_launches == 0
+        assert profile.sim_seconds == 0.0
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = RuntimeProfile.from_dict(sample_profile()).canonical_json()
+        assert ": " not in text and ", " not in text
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+    def test_digest_is_stable_for_equal_profiles(self):
+        a = RuntimeProfile.from_dict(sample_profile())
+        b = RuntimeProfile.from_dict(sample_profile())
+        assert a.digest() == b.digest()
+        c = RuntimeProfile.from_dict(sample_profile(steps=101))
+        assert a.digest() != c.digest()
+
+
+class TestProfileFromExecution:
+    def test_frozen_digest_of_a_fixed_scenario(self):
+        # Byte-determinism across processes: the digest is a constant.
+        assert layout_profile().digest() == LAYOUT_CUDA_DIGEST
+
+    def test_two_runs_produce_identical_profiles(self):
+        assert layout_profile() == layout_profile()
+
+    def test_launch_path_split_sums_to_total(self):
+        profile = layout_profile()
+        assert profile.kernel_launches == (
+            profile.flat_launches + profile.barrier_launches
+            + profile.slow_launches + profile.omp_launches
+        )
+        assert profile.steps > 0 and profile.sim_seconds > 0
+
+    def test_execution_without_interpreter_profile_is_none(self):
+        class Bare:
+            profile = None
+
+        assert profile_from_execution(Bare()) is None
+
+
+class TestResolveTolerance:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(TOLERANCE_ENV, raising=False)
+        assert resolve_tolerance() == DEFAULT_TOLERANCE
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(TOLERANCE_ENV, "0.25")
+        assert resolve_tolerance() == 0.25
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(TOLERANCE_ENV, "0.25")
+        assert resolve_tolerance(0.05) == 0.05
+
+
+class TestLoadProfileSnapshot:
+    def test_bench_artifact_profiles_block(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(
+            {"bench": "x", "profiles": {"layout/cuda": sample_profile()}}
+        ), encoding="utf-8")
+        snap = load_profile_snapshot(path)
+        assert list(snap) == ["layout/cuda"]
+
+    def test_campaign_manifest_perf_cells(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({
+            "type": "campaign-manifest",
+            "cells": [
+                {"variant": "full", "seed": 1,
+                 "perf": {"scenarios": 4, "scored": 3,
+                          "speedup": {"geomean": 1.2}}},
+                {"variant": "bare", "seed": 1, "perf": None},
+            ],
+        }), encoding="utf-8")
+        snap = load_profile_snapshot(path)
+        assert list(snap) == ["full/seed1"]
+
+    def test_manifest_without_perf_blocks_raises(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(
+            {"cells": [{"variant": "v", "seed": 1}]}
+        ), encoding="utf-8")
+        with pytest.raises(ValueError, match="perf"):
+            load_profile_snapshot(path)
+
+    def test_bare_mapping_and_single_profile(self, tmp_path):
+        mapping = tmp_path / "map.json"
+        mapping.write_text(json.dumps(
+            {"a": sample_profile(), "b": sample_profile()}
+        ), encoding="utf-8")
+        assert sorted(load_profile_snapshot(mapping)) == ["a", "b"]
+        single = tmp_path / "one.json"
+        single.write_text(json.dumps(sample_profile()), encoding="utf-8")
+        assert list(load_profile_snapshot(single)) == ["profile"]
+
+    def test_unrecognized_layout_raises(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": "world"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="unrecognized"):
+            load_profile_snapshot(path)
+
+
+class TestDiffProfileSnapshots:
+    def test_identical_snapshots_are_ok(self):
+        snap = {"layout/cuda": sample_profile()}
+        report = diff_profile_snapshots(snap, snap, tolerance=0.10)
+        assert report["ok"] and not report["regressions"]
+
+    def test_within_tolerance_is_ok(self):
+        base = {"p": sample_profile(steps=100)}
+        curr = {"p": sample_profile(steps=109)}
+        assert diff_profile_snapshots(base, curr, tolerance=0.10)["ok"]
+
+    def test_cost_counter_regression_beyond_tolerance(self):
+        base = {"p": sample_profile(steps=100)}
+        curr = {"p": sample_profile(steps=120)}
+        report = diff_profile_snapshots(base, curr, tolerance=0.10)
+        assert not report["ok"] and report["regressions"] == ["p"]
+        bad = [d for d in report["entries"][0]["deltas"] if d["regressed"]]
+        assert [d["counter"] for d in bad] == ["steps"]
+
+    def test_cost_improvement_is_not_a_regression(self):
+        base = {"p": sample_profile(steps=100, sim_seconds=1.0)}
+        curr = {"p": sample_profile(steps=50, sim_seconds=0.5)}
+        assert diff_profile_snapshots(base, curr, tolerance=0.10)["ok"]
+
+    def test_speedup_drop_is_a_regression(self):
+        base = {"cell": {"scenarios": 4, "scored": 4,
+                         "speedup": {"geomean": 1.5, "slower": 0}}}
+        curr = {"cell": {"scenarios": 4, "scored": 4,
+                         "speedup": {"geomean": 1.0, "slower": 0}}}
+        report = diff_profile_snapshots(base, curr, tolerance=0.10)
+        assert not report["ok"]
+        bad = [d for d in report["entries"][0]["deltas"] if d["regressed"]]
+        assert [d["counter"] for d in bad] == ["speedup.geomean"]
+
+    def test_more_slow_scenarios_is_a_regression(self):
+        base = {"cell": {"speedup": {"slower": 1}}}
+        curr = {"cell": {"speedup": {"slower": 2}}}
+        assert not diff_profile_snapshots(base, curr, tolerance=0.10)["ok"]
+
+    def test_coverage_loss_fails_even_without_deltas(self):
+        base = {"a": sample_profile(), "b": sample_profile()}
+        curr = {"a": sample_profile()}
+        report = diff_profile_snapshots(base, curr, tolerance=0.10)
+        assert not report["ok"]
+        assert report["only_in_baseline"] == ["b"]
+        assert not report["regressions"]
+
+    def test_new_profiles_in_current_stay_ok(self):
+        base = {"a": sample_profile()}
+        curr = {"a": sample_profile(), "b": sample_profile()}
+        report = diff_profile_snapshots(base, curr, tolerance=0.10)
+        assert report["ok"] and report["only_in_current"] == ["b"]
+
+    def test_env_tolerance_applies(self, monkeypatch):
+        monkeypatch.setenv(TOLERANCE_ENV, "0.5")
+        base = {"p": sample_profile(steps=100)}
+        curr = {"p": sample_profile(steps=140)}
+        assert diff_profile_snapshots(base, curr)["ok"]
+
+    def test_render_mentions_regressed_counters_and_verdict(self):
+        base = {"p": sample_profile(steps=100)}
+        curr = {"p": sample_profile(steps=200)}
+        text = render_profile_diff(
+            diff_profile_snapshots(base, curr, tolerance=0.10)
+        )
+        assert "p: REGRESSED" in text
+        assert "steps: 100 -> 200 (2.000x)" in text
+        assert "verdict: 1 profile(s) regressed" in text
+
+
+class TestRegressionGate:
+    def test_gate_round_trip(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(
+            {"profiles": {"p": sample_profile(steps=100)}}
+        ), encoding="utf-8")
+        good = tmp_path / "good.json"
+        good.write_text(base.read_text(encoding="utf-8"), encoding="utf-8")
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"profiles": {"p": sample_profile(steps=150)}}
+        ), encoding="utf-8")
+        _, ok = regression_gate(base, good, tolerance=0.10)
+        assert ok
+        report, ok = regression_gate(base, bad, tolerance=0.10)
+        assert not ok and report["regressions"] == ["p"]

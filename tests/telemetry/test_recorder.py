@@ -83,6 +83,47 @@ class TestDump:
         assert recorder.dump("sigterm") is None
 
 
+class TestProfiledExecutionDump:
+    def test_dump_triggered_from_inside_a_profiled_execution(self, tmp_path):
+        # A diagnostic subscriber may dump the ring the moment an
+        # execution finishes — with the profiling layer on, that dump
+        # must carry the runtime profile of the execution that fired it.
+        from repro.hecbench import get_app
+        from repro.llm.profiles import CellPlan
+        from repro.llm.simulated import SimulatedLLM
+        from repro.minilang.source import Dialect
+        from repro.pipeline import build_pipeline
+        from repro.pipeline.events import ExecutionFinished
+
+        recorder = FlightRecorder(directory=tmp_path)
+        dumps = []
+
+        def on_event(event):
+            recorder(event)
+            if isinstance(event, ExecutionFinished) and event.profile:
+                dumps.append(recorder.dump("profiled-execution"))
+
+        llm = SimulatedLLM("gpt4", Dialect.OMP, Dialect.CUDA, plan=CellPlan())
+        pipeline = build_pipeline(
+            llm, Dialect.OMP, Dialect.CUDA, subscribers=[on_event]
+        )
+        app = get_app("layout")
+        result = pipeline.run(
+            app.omp_source, reference_target_code=app.cuda_source,
+            args=app.args, work_scale=app.work_scale,
+            launch_scale=app.launch_scale,
+        )
+        assert result.ok
+        assert dumps and dumps[0] is not None
+        payload = json.loads(dumps[0].read_text(encoding="utf-8"))
+        assert payload["reason"] == "profiled-execution"
+        execs = [
+            e for e in payload["events"] if e["event"] == "ExecutionFinished"
+        ]
+        assert execs and isinstance(execs[-1].get("profile"), dict)
+        assert execs[-1]["profile"]["steps"] > 0
+
+
 class TestGlobals:
     def test_get_flight_recorder_is_a_stable_singleton(self):
         assert get_flight_recorder() is get_flight_recorder()

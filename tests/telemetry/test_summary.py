@@ -7,12 +7,15 @@ import pytest
 from repro.telemetry import metrics as _metrics
 from repro.telemetry.summary import (
     collect_trace_paths,
+    critical_path_report,
     percentile,
+    render_critical_path,
     render_trace_show,
     render_trace_summary,
     summarize_traces,
+    trace_critical_path,
 )
-from repro.telemetry.tracefile import TraceWriter
+from repro.telemetry.tracefile import TraceWriter, load_trace_file
 
 
 def spans_for(app, wall, status="success", cached=False):
@@ -96,6 +99,34 @@ class TestCollectTracePaths:
         with pytest.raises(FileNotFoundError):
             collect_trace_paths(tmp_path)
 
+    def test_campaign_dir_with_empty_sessions_dir_raises(self, tmp_path):
+        # A campaign directory created but never run with --trace.
+        (tmp_path / "sessions").mkdir()
+        (tmp_path / "manifest.json").write_text("{}", encoding="utf-8")
+        with pytest.raises(FileNotFoundError, match="--trace"):
+            collect_trace_paths(tmp_path)
+
+
+class TestTruncatedTail:
+    def test_truncated_trace_file_keeps_the_parsed_prefix(
+        self, trace_file, tmp_path
+    ):
+        # A killed worker can die mid-line; everything before the torn
+        # record must still summarize.
+        truncated = tmp_path / "torn.trace.jsonl"
+        text = trace_file.read_text(encoding="utf-8")
+        lines = text.splitlines(keepends=True)
+        # Keep the header + first trace, tear the second trace record
+        # mid-line (everything after it — the metrics record — is lost).
+        torn = lines[:2] + [lines[2][: len(lines[2]) // 2]]
+        truncated.write_text("".join(torn), encoding="utf-8")
+        data = load_trace_file(truncated)
+        assert len(data["traces"]) == 1
+        summary = summarize_traces([truncated])
+        assert summary["traces"] == 1
+        report = critical_path_report([truncated])
+        assert report["scenarios"] == 1
+
 
 class TestSummarize:
     def test_summary_aggregates_every_dimension(self, trace_file):
@@ -123,6 +154,52 @@ class TestSummarize:
             _metrics.REGISTRY.counter("test.summary").inc(5)
         summary = summarize_traces([path])
         assert summary["metrics"]["counters"]["test.summary"] == 5.0
+
+
+class TestCriticalPath:
+    def test_attributes_leaf_walls_and_overhead(self):
+        trace = {
+            "scenario": {"app": "x"},
+            "spans": spans_for("x", 1.0),
+        }
+        row = trace_critical_path(trace)
+        # llm 0.25, compile 0.01, exec 0.05 -> overhead 0.69 dominates.
+        assert row["walls"]["llm"] == pytest.approx(0.25)
+        assert row["walls"]["compile"] == pytest.approx(0.01)
+        assert row["walls"]["exec"] == pytest.approx(0.05)
+        assert row["walls"]["overhead"] == pytest.approx(0.69)
+        assert row["dominant"] == "overhead"
+
+    def test_dominant_leaf_wins_over_overhead(self):
+        spans = spans_for("x", 1.0)
+        spans[2]["wall"] = 0.9  # the llm leaf now dominates
+        row = trace_critical_path({"scenario": {}, "spans": spans})
+        assert row["dominant"] == "llm"
+
+    def test_empty_trace_charges_nothing(self):
+        row = trace_critical_path({"scenario": {}, "spans": []})
+        assert row["wall"] == 0.0
+        assert set(row["walls"].values()) == {0.0}
+
+    def test_report_aggregates_counts_and_fractions(self, trace_file):
+        report = critical_path_report([trace_file])
+        assert report["scenarios"] == 2
+        assert sum(report["dominant_counts"].values()) == 2
+        fractions = report["mean_fractions"]
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-3)
+        assert report["total_wall"] == pytest.approx(1.0)
+
+    def test_render_lists_buckets_and_slowest(self, trace_file):
+        text = render_critical_path(critical_path_report([trace_file]))
+        assert "critical path over 2 scenario(s)" in text
+        for bucket in ("llm", "compile", "exec", "overhead"):
+            assert bucket in text
+        assert "Slowest scenarios" in text
+        assert "gpt4/omp2cuda/slow" in text
+
+    def test_render_respects_top(self, trace_file):
+        text = render_critical_path(critical_path_report([trace_file]), top=1)
+        assert text.count("dominant=") == 1
 
 
 class TestRendering:

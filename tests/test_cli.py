@@ -585,3 +585,207 @@ class TestCampaignTelemetryCli:
         assert main(["campaign", "report", "tele-mini", "--dir", root,
                      "--with-telemetry"]) == 0
         assert "re-run the campaign with --trace" in capsys.readouterr().out
+
+
+class TestPerfCli:
+    def _baseline(self, tmp_path, name="base.json"):
+        path = tmp_path / name
+        assert main(["perf", "profile", "--apps", "layout", "bsearch",
+                     "--out", str(path)]) == 0
+        return path
+
+    def test_perf_profile_writes_a_deterministic_snapshot(self, capsys,
+                                                          tmp_path):
+        a = self._baseline(tmp_path, "a.json")
+        b = self._baseline(tmp_path, "b.json")
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        snap = json.loads(a.read_text())
+        assert sorted(snap["profiles"]) == [
+            "bsearch/cuda", "bsearch/omp", "layout/cuda", "layout/omp"
+        ]
+        for profile in snap["profiles"].values():
+            assert profile["steps"] > 0 and profile["sim_seconds"] > 0
+
+    def test_perf_profile_prints_to_stdout_without_out(self, capsys):
+        assert main(["perf", "profile", "--apps", "layout",
+                     "--dialects", "cuda"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert list(snap["profiles"]) == ["layout/cuda"]
+
+    def test_perf_profile_unknown_app_is_an_error(self, capsys):
+        assert main(["perf", "profile", "--apps", "no-such-app"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_perf_regress_identical_snapshots_exit_zero(self, capsys,
+                                                        tmp_path):
+        base = self._baseline(tmp_path)
+        capsys.readouterr()
+        assert main(["perf", "regress", str(base), str(base)]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_perf_regress_injected_regression_exits_nonzero(self, capsys,
+                                                            tmp_path):
+        base = self._baseline(tmp_path)
+        snap = json.loads(base.read_text())
+        for profile in snap["profiles"].values():
+            profile["steps"] = int(profile["steps"] * 1.2)
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(snap), encoding="utf-8")
+        diff = tmp_path / "diff.json"
+        capsys.readouterr()
+        assert main(["perf", "regress", str(base), str(slow),
+                     "--json-out", str(diff)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "steps" in out
+        report = json.loads(diff.read_text())
+        assert report["regressions"]
+
+    def test_perf_regress_tolerance_flag_absorbs_the_regression(
+        self, capsys, tmp_path
+    ):
+        base = self._baseline(tmp_path)
+        snap = json.loads(base.read_text())
+        for profile in snap["profiles"].values():
+            profile["steps"] = int(profile["steps"] * 1.2)
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(snap), encoding="utf-8")
+        capsys.readouterr()
+        assert main(["perf", "regress", str(base), str(slow),
+                     "--tolerance", "0.5"]) == 0
+
+    def test_perf_regress_env_tolerance(self, capsys, tmp_path,
+                                        monkeypatch):
+        base = self._baseline(tmp_path)
+        snap = json.loads(base.read_text())
+        for profile in snap["profiles"].values():
+            profile["steps"] = int(profile["steps"] * 1.2)
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(snap), encoding="utf-8")
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_PERF_TOLERANCE", "0.5")
+        assert main(["perf", "regress", str(base), str(slow)]) == 0
+
+    def test_perf_compare_never_gates(self, capsys, tmp_path):
+        base = self._baseline(tmp_path)
+        snap = json.loads(base.read_text())
+        for profile in snap["profiles"].values():
+            profile["steps"] = int(profile["steps"] * 3)
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(snap), encoding="utf-8")
+        capsys.readouterr()
+        assert main(["perf", "compare", str(base), str(slow)]) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_perf_regress_missing_snapshot_is_an_error(self, capsys,
+                                                       tmp_path):
+        missing = str(tmp_path / "nope.json")
+        assert main(["perf", "regress", missing, missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCriticalPathCli:
+    def test_critical_path_over_a_traced_session(self, capsys, tmp_path):
+        session = tmp_path / "sess.jsonl"
+        assert main(["evaluate", "--models", "gpt4", "--apps", "layout",
+                     "bsearch", "--direction", "omp2cuda",
+                     "--session", str(session), "--trace"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(session)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path over 2 scenario(s)" in out
+        for bucket in ("llm", "compile", "exec", "overhead"):
+            assert bucket in out
+        assert "Slowest scenarios" in out
+
+    def test_critical_path_untraced_target_is_an_error(self, capsys,
+                                                       tmp_path):
+        assert main(["trace", "critical-path", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCampaignPerfReport:
+    def _spec_file(self, tmp_path):
+        spec = {
+            "name": "perf-mini",
+            "models": ["gpt4"],
+            "directions": ["omp2cuda"],
+            "apps": ["layout", "bsearch"],
+            "variants": [{"name": "baseline"}],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_report_speedup_and_critical_path_counts_match_manifest(
+        self, capsys, tmp_path
+    ):
+        spec = self._spec_file(tmp_path)
+        root = str(tmp_path / "campaigns")
+        assert main(["campaign", "run", "--spec", spec, "--dir", root,
+                     "--trace"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "perf-mini", "--dir", root]) == 0
+        out = capsys.readouterr().out
+        manifest = json.loads(
+            (tmp_path / "campaigns" / "perf-mini" / "manifest.json")
+            .read_text(encoding="utf-8")
+        )
+        [cell] = manifest["cells"]
+        # The report's speedup section and the manifest's perf block are
+        # derived from the same session-persisted results: counts agree.
+        assert cell["perf"]["scenarios"] == 2
+        assert "speedup distribution" in out
+        scored = cell["perf"]["scored"]
+        speedup_row = next(
+            line for line in out.splitlines()
+            if line.strip().startswith("baseline")
+            and "speedup" in out[: out.index(line)]
+        )
+        assert speedup_row.split()[:4] == ["baseline", "1", "2", str(scored)]
+        # Critical path covers exactly the traced (= executed) scenarios.
+        assert "critical path (2 traced of 2 recorded scenario(s))" in out
+
+    def test_manifest_perf_block_feeds_the_regression_gate(self, capsys,
+                                                           tmp_path):
+        spec = self._spec_file(tmp_path)
+        root = str(tmp_path / "campaigns")
+        assert main(["campaign", "run", "--spec", spec, "--dir", root]) == 0
+        capsys.readouterr()
+        manifest = str(tmp_path / "campaigns" / "perf-mini" / "manifest.json")
+        assert main(["perf", "regress", manifest, manifest]) == 0
+        assert "baseline/seed" in capsys.readouterr().out
+
+    def test_stage_attribution_consistency_is_warn_only(self, capsys,
+                                                        tmp_path):
+        # Doctor the manifest's stage_seconds after a traced run: the
+        # report must still exit 0 but flag the divergence on stderr.
+        spec = self._spec_file(tmp_path)
+        root = str(tmp_path / "campaigns")
+        assert main(["campaign", "run", "--spec", spec, "--dir", root,
+                     "--trace"]) == 0
+        capsys.readouterr()
+        manifest_path = tmp_path / "campaigns" / "perf-mini" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        for cell in manifest["cells"]:
+            if cell.get("stage_seconds"):
+                cell["stage_seconds"]["generate"] = (
+                    cell["stage_seconds"].get("generate", 0.0) + 10.0
+                )
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        assert main(["campaign", "report", "perf-mini", "--dir", root,
+                     "--with-telemetry"]) == 0
+        err = capsys.readouterr().err
+        assert "wall-time attribution diverges" in err
+        assert "authoritative" in err
+
+    def test_fresh_traced_report_has_no_attribution_warning(self, capsys,
+                                                            tmp_path):
+        spec = self._spec_file(tmp_path)
+        root = str(tmp_path / "campaigns")
+        assert main(["campaign", "run", "--spec", spec, "--dir", root,
+                     "--trace"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "perf-mini", "--dir", root,
+                     "--with-telemetry"]) == 0
+        assert "attribution diverges" not in capsys.readouterr().err
